@@ -1,0 +1,87 @@
+// Command throughput regenerates the paper's Fig. 7 (network driver
+// recovery) and Fig. 8 (disk driver recovery) series: I/O throughput as a
+// function of the interval at which the driver is killed with SIGKILL
+// while the transfer runs.
+//
+//	throughput -exp fig7              # 512 MB wget, kill intervals 1-15s
+//	throughput -exp fig8              # 1 GB dd | sha1sum
+//	throughput -exp fig7 -size 64     # quick run with a 64 MB transfer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"resilientos"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("throughput", flag.ContinueOnError)
+	exp := fs.String("exp", "fig7", "experiment: fig7 (network) or fig8 (disk)")
+	sizeMB := fs.Int64("size", 0, "transfer size in MB (default: paper's 512 for fig7, 1024 for fig8)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	intervals := fs.String("intervals", "", "comma-separated kill intervals in seconds (default 1,2,4,6,8,10,12,15)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ivs := resilientos.Fig7Intervals
+	if *intervals != "" {
+		ivs = nil
+		for _, part := range strings.Split(*intervals, ",") {
+			secs, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("bad interval %q", part)
+			}
+			ivs = append(ivs, time.Duration(secs*float64(time.Second)))
+		}
+	}
+
+	var points []resilientos.ThroughputPoint
+	switch *exp {
+	case "fig7":
+		size := *sizeMB
+		if size == 0 {
+			size = 512
+		}
+		fmt.Printf("Fig. 7: wget %d MB over TCP, killing the RTL8139-class driver\n", size)
+		fmt.Printf("(paper: 10.8 MB/s uninterrupted; 8.1 MB/s at 1s kills; 10.7 MB/s at 15s)\n\n")
+		points = resilientos.Fig7NetworkRecovery(size<<20, ivs, *seed)
+	case "fig8":
+		size := *sizeMB
+		if size == 0 {
+			size = 1024
+		}
+		fmt.Printf("Fig. 8: dd %d MB | sha1sum, killing the SATA-class driver\n", size)
+		fmt.Printf("(paper: 32.7 MB/s uninterrupted; 12.3 MB/s at 1s kills; 30.5 MB/s at 15s)\n\n")
+		points = resilientos.Fig8DiskRecovery(size<<20, ivs, *seed)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	for _, p := range points {
+		fmt.Println(p)
+		if !p.OK {
+			return fmt.Errorf("integrity check failed for %v", p.KillInterval)
+		}
+	}
+	base := points[0].MBps
+	fmt.Println()
+	fmt.Println("interval_s  throughput_MBps  relative_loss")
+	for _, p := range points[1:] {
+		fmt.Printf("%10.0f  %15.2f  %12.0f%%\n",
+			p.KillInterval.Seconds(), p.MBps, 100*(1-p.MBps/base))
+	}
+	return nil
+}

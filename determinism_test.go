@@ -1,0 +1,141 @@
+package resilientos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"resilientos/internal/core"
+	"resilientos/internal/kernel"
+	"resilientos/internal/proto"
+)
+
+// TestSystemDeterminism runs the same failure-laden scenario twice and
+// demands bit-identical outcomes: every event time, every recovery, every
+// checksum. This is the property that makes the whole evaluation
+// reproducible.
+func TestSystemDeterminism(t *testing.T) {
+	run := func() string {
+		sys := New(Config{
+			Seed:          42,
+			PreallocFiles: []PreallocFile{{Name: "bigdata", Size: 8 << 20}},
+		})
+		sys.Run(3 * time.Second)
+		sys.ServeFile(80, 42, 8<<20)
+		var w WgetResult
+		sys.Wget(DriverRTL8139, 80, 42, 8<<20, &w)
+		var d DdResult
+		sys.Dd("/bigdata", 64<<10, &d)
+		sys.Every(700*time.Millisecond, func() { sys.KillDriver(DriverRTL8139) })
+		sys.Every(1300*time.Millisecond, func() { sys.KillDriver(DriverSATA) })
+		sys.Run(2 * time.Minute)
+		out := fmt.Sprintf("wget=%x dd=%x bytes=%d/%d\n", w.MD5, d.SHA1, w.Bytes, d.Bytes)
+		for _, e := range sys.RS.Events() {
+			out += fmt.Sprintf("%v %s %v %d %v\n", e.Time, e.Label, e.Defect, e.Repetition, e.Duration)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestStatefulServiceRecoversFromDataStore verifies §5.3's state-recovery
+// mechanism end to end: a stateful service checkpoints to the data store
+// and a restarted instance continues where the dead one left off,
+// authenticated by its stable name.
+func TestStatefulServiceRecoversFromDataStore(t *testing.T) {
+	sys := New(Config{DisableNet: true, DisableDisk: true, DisableChar: true})
+	dsEp := sys.DSEp
+	var observed []int64
+	sys.RS.StartService(core.ServiceConfig{
+		Label: "counter",
+		Binary: func(c *kernel.Ctx) {
+			var count int64
+			reply, err := c.SendRec(dsEp, kernel.Message{Type: proto.DSRetrieve, Name: "n"})
+			if err == nil && reply.Arg2 == proto.OK && len(reply.Payload) == 8 {
+				count = int64(binary.LittleEndian.Uint64(reply.Payload))
+			}
+			for {
+				c.Sleep(50 * time.Millisecond)
+				count++
+				observed = append(observed, count)
+				buf := make([]byte, 8)
+				binary.LittleEndian.PutUint64(buf, uint64(count))
+				if _, err := c.SendRec(dsEp, kernel.Message{Type: proto.DSStore, Name: "n", Payload: buf}); err != nil {
+					return
+				}
+			}
+		},
+		Priv: kernel.Privileges{AllowAllIPC: true},
+	})
+	sys.After(2*time.Second, func() { sys.KillDriver("counter") })
+	sys.After(4*time.Second, func() { sys.KillDriver("counter") })
+	sys.Run(6 * time.Second)
+
+	if len(observed) < 50 {
+		t.Fatalf("only %d ticks", len(observed))
+	}
+	// The counter must be monotonically nondecreasing ACROSS restarts
+	// (allowing a one-step repeat for the unsynced final tick).
+	for i := 1; i < len(observed); i++ {
+		if observed[i] < observed[i-1] {
+			t.Fatalf("counter went backwards at %d: %d -> %d (state lost)",
+				i, observed[i-1], observed[i])
+		}
+	}
+	if len(sys.RS.Events()) != 2 {
+		t.Fatalf("events = %d, want 2 kills", len(sys.RS.Events()))
+	}
+	// Without recovery the final count would be ~2s/50ms = 40; with it,
+	// close to 6s/50ms = 120.
+	final := observed[len(observed)-1]
+	if final < 100 {
+		t.Fatalf("final count %d: state did not carry across restarts", final)
+	}
+}
+
+// TestRecoveryTransparencyUnderConcurrentLoad drives all three driver
+// classes at once under a kill storm and checks the Fig. 3 contract in
+// one run.
+func TestRecoveryTransparencyUnderConcurrentLoad(t *testing.T) {
+	sys := New(Config{
+		Seed:          3,
+		PreallocFiles: []PreallocFile{{Name: "bigdata", Size: 12 << 20}},
+	})
+	sys.Run(3 * time.Second)
+	sys.ServeFile(80, 3, 12<<20)
+	var w WgetResult
+	sys.Wget(DriverRTL8139, 80, 3, 12<<20, &w)
+	var d DdResult
+	sys.Dd("/bigdata", 64<<10, &d)
+	lines := []string{"a", "b", "c", "d"}
+	var l LpdResult
+	sys.Lpd(lines, &l)
+	sys.Every(900*time.Millisecond, func() {
+		sys.KillDriver(DriverRTL8139)
+		sys.KillDriver(DriverSATA)
+		sys.KillDriver(DriverPrinter)
+	})
+	sys.Run(4 * time.Minute)
+
+	if !w.OK {
+		t.Errorf("wget failed: %d bytes err=%v", w.Bytes, w.Err)
+	}
+	if d.Err != nil || d.Bytes != 12<<20 {
+		t.Errorf("dd failed: %d bytes err=%v", d.Bytes, d.Err)
+	}
+	if l.Submitted != len(lines) {
+		t.Errorf("lpd submitted %d/%d", l.Submitted, len(lines))
+	}
+	for _, e := range sys.RS.Events() {
+		if !e.Recovered {
+			t.Errorf("unrecovered event: %+v", e)
+		}
+	}
+	if len(sys.RS.Events()) < 10 {
+		t.Errorf("only %d recoveries under the storm", len(sys.RS.Events()))
+	}
+}

@@ -1,0 +1,3 @@
+module resilientos
+
+go 1.22

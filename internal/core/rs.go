@@ -1,0 +1,760 @@
+// Package core implements the reincarnation server (RS) — the paper's
+// primary contribution. RS is the guardian of all servers and drivers: it
+// starts them with least-authority privileges, monitors their health, and
+// when a defect is detected runs a policy-driven recovery procedure that
+// replaces the malfunctioning component with a fresh instance, publishes
+// the new endpoint through the data store, and thereby masks the failure
+// from applications and users.
+//
+// Defect detection covers the six input classes of paper §5.1:
+//
+//  1. process exit or panic            (PM exit event, CauseExit)
+//  2. crashed by CPU or MMU exception  (PM exit event, CauseException)
+//  3. killed by user                   (PM exit event, CauseSignal)
+//  4. heartbeat message missing        (N consecutive missed pongs)
+//  5. complaint by another component   (RSComplain from an authorized server)
+//  6. dynamic update by user           (RSUpdate)
+//
+// Recovery is policy-driven (§5.2): a service may carry a shell script
+// (internal/policy) that decides when and how to restart — the default
+// direct-restart path covers components without a script, including disk
+// drivers, which MINIX restarts straight from a RAM image because their
+// script would live on the very disk that just lost its driver (§6.2).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"resilientos/internal/kernel"
+	"resilientos/internal/policy"
+	"resilientos/internal/proto"
+	"resilientos/internal/sim"
+)
+
+// Label is RS's stable component label.
+const Label = "rs"
+
+// Defect identifies one of the six defect classes of paper §5.1. The
+// numeric values are the `reason` argument passed to policy scripts,
+// matching the paper's Fig. 2.
+type Defect int
+
+// The six defect classes.
+const (
+	DefectExit      Defect = 1 // process exit or panic
+	DefectException Defect = 2 // crashed by CPU or MMU exception
+	DefectKilled    Defect = 3 // killed by user
+	DefectHeartbeat Defect = 4 // heartbeat message missing
+	DefectComplaint Defect = 5 // complaint by other component
+	DefectUpdate    Defect = 6 // dynamic update by user
+)
+
+func (d Defect) String() string {
+	switch d {
+	case DefectExit:
+		return "exit/panic"
+	case DefectException:
+		return "exception"
+	case DefectKilled:
+		return "killed"
+	case DefectHeartbeat:
+		return "heartbeat"
+	case DefectComplaint:
+		return "complaint"
+	case DefectUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("Defect(%d)", int(d))
+	}
+}
+
+// Binary is a service's executable image: the body its process runs. A
+// restart executes a fresh call of the Binary — the "fresh copy" that
+// cures transient failures.
+type Binary func(c *kernel.Ctx)
+
+// ServiceConfig describes a service the reincarnation server guards; it
+// carries exactly the arguments the paper's service utility passes: the
+// binary, a stable name, precise privileges, a heartbeat period, and an
+// optional parametrized policy script (§5).
+type ServiceConfig struct {
+	Label   string
+	Binary  Binary
+	Version string // informational; dynamic updates may change it
+	Priv    kernel.Privileges
+
+	// HeartbeatPeriod enables proactive liveness pings when > 0.
+	HeartbeatPeriod sim.Time
+	// HeartbeatMisses is N: consecutive unanswered pings before the
+	// component is declared stuck (default 3).
+	HeartbeatMisses int
+
+	// Policy is the recovery script; nil selects RS's direct restart.
+	Policy *policy.Script
+	// PolicyParams are the script's trailing parameters ($4...), e.g.
+	// "-a root@localhost".
+	PolicyParams []string
+
+	// MaxRestarts disables the service after this many consecutive
+	// failures (0 = never give up). The policy script can express richer
+	// give-up behavior; this is the backstop.
+	MaxRestarts int
+}
+
+// Event is one entry of the recovery log; the experiments read these.
+type Event struct {
+	Time       sim.Time // detection time
+	Label      string
+	Defect     Defect
+	Repetition int      // consecutive-failure count at detection
+	Recovered  bool     // a new instance was published
+	GaveUp     bool     // MaxRestarts exhausted
+	Duration   sim.Time // detection -> new endpoint published
+	NewEp      kernel.Endpoint
+}
+
+// Alert is a failure notification produced by a policy script's `mail`.
+type Alert struct {
+	Time    sim.Time
+	To      string
+	Subject string
+	Body    string
+}
+
+// service is RS's per-component bookkeeping.
+type service struct {
+	cfg     ServiceConfig
+	ep      kernel.Endpoint
+	running bool
+	stopped bool // administratively stopped; don't recover
+	gaveUp  bool
+
+	failures    int // consecutive failure count (the script's $3)
+	lastFailure sim.Time
+
+	// Heartbeat state.
+	nextPing sim.Time
+	awaiting bool // ping sent, pong not yet seen
+	missed   int
+
+	// killClass records why RS itself is killing the instance, so the
+	// resulting exit event is attributed to the right defect class.
+	killClass Defect
+
+	updating   bool     // SIGTERM sent for dynamic update
+	termKillAt sim.Time // when to escalate SIGTERM to SIGKILL
+
+	detectedAt   sim.Time // set when a defect is detected, for Duration
+	pendingClass Defect   // class of the recovery a policy script is driving
+}
+
+// internal message type: drain the pending Go-level requests.
+const msgRSDrain int32 = 390
+
+// stableResetAfter: a service that stays up this long gets its
+// consecutive-failure count reset, so the exponential backoff reflects
+// crash *loops* rather than lifetime totals.
+const stableResetAfter = 60 * time.Second
+
+// termGrace is how long a SIGTERM'd component gets before SIGKILL (§6).
+const termGrace = 500 * time.Millisecond
+
+// RS is the reincarnation server.
+type RS struct {
+	ctx  *kernel.Ctx
+	k    *kernel.Kernel
+	dsEp kernel.Endpoint
+	pmEp kernel.Endpoint
+
+	services map[string]*service
+	pending  []pendingReq // Go-level API requests awaiting the RS loop
+	shSeq    int          // policy-script runner sequence numbers
+
+	events   []Event
+	alerts   []Alert
+	onReboot func()
+	rebooted bool
+}
+
+type pendingReq struct {
+	kind  string // "start", "stop", "restart", "update", "kill"
+	cfg   ServiceConfig
+	label string
+	sig   kernel.Signal
+}
+
+// Option configures the reincarnation server.
+type Option func(*RS)
+
+// WithOnReboot installs the whole-system reboot hook a policy script's
+// `reboot` command triggers.
+func WithOnReboot(fn func()) Option {
+	return func(rs *RS) { rs.onReboot = fn }
+}
+
+// Start spawns the reincarnation server. It subscribes to PM's exit
+// events; services are then added with StartService.
+func Start(k *kernel.Kernel, pmEp, dsEp kernel.Endpoint, opts ...Option) (*RS, error) {
+	rs := &RS{
+		k:        k,
+		dsEp:     dsEp,
+		pmEp:     pmEp,
+		services: make(map[string]*service),
+	}
+	for _, o := range opts {
+		o(rs)
+	}
+	ctx, err := k.Spawn(Label, kernel.Privileges{
+		AllowAllIPC: true,
+		Calls: []kernel.Call{
+			kernel.CallSpawn, kernel.CallKill, kernel.CallPrivCtl, kernel.CallAlarm,
+		},
+	}, rs.run)
+	if err != nil {
+		return nil, err
+	}
+	rs.ctx = ctx
+	return rs, nil
+}
+
+// Endpoint returns RS's endpoint.
+func (rs *RS) Endpoint() kernel.Endpoint { return rs.ctx.Endpoint() }
+
+// Events returns a copy of the recovery event log.
+func (rs *RS) Events() []Event { return append([]Event(nil), rs.events...) }
+
+// Alerts returns a copy of the failure alerts sent by policy scripts.
+func (rs *RS) Alerts() []Alert { return append([]Alert(nil), rs.alerts...) }
+
+// Rebooted reports whether a policy script requested a system reboot.
+func (rs *RS) Rebooted() bool { return rs.rebooted }
+
+// ServiceEndpoint returns the current endpoint of a service (None when
+// down).
+func (rs *RS) ServiceEndpoint(label string) kernel.Endpoint {
+	if svc, ok := rs.services[label]; ok && svc.running {
+		return svc.ep
+	}
+	return kernel.None
+}
+
+// FailureCount returns a service's consecutive-failure count.
+func (rs *RS) FailureCount(label string) int {
+	if svc, ok := rs.services[label]; ok {
+		return svc.failures
+	}
+	return 0
+}
+
+// StartService registers and starts a service. Callable from outside the
+// simulation loop (before Run) or from within any process.
+func (rs *RS) StartService(cfg ServiceConfig) {
+	rs.pending = append(rs.pending, pendingReq{kind: "start", cfg: cfg})
+	rs.kick()
+}
+
+// StopService administratively stops a service (SIGTERM, then SIGKILL);
+// no recovery is performed.
+func (rs *RS) StopService(label string) {
+	rs.pending = append(rs.pending, pendingReq{kind: "stop", label: label})
+	rs.kick()
+}
+
+// UpdateService performs a dynamic update (defect class 6): the running
+// instance is asked to exit and a fresh instance — possibly a new binary
+// registered via cfg — takes its place with no backoff delay.
+func (rs *RS) UpdateService(cfg ServiceConfig) {
+	rs.pending = append(rs.pending, pendingReq{kind: "update", cfg: cfg, label: cfg.Label})
+	rs.kick()
+}
+
+// KillService sends the service a signal as the "user kill" defect
+// class 3 (the crash-simulation scripts of §7.1 use SIGKILL).
+func (rs *RS) KillService(label string, sig kernel.Signal) {
+	rs.pending = append(rs.pending, pendingReq{kind: "kill", label: label, sig: sig})
+	rs.kick()
+}
+
+func (rs *RS) kick() {
+	_ = rs.k.PostAsync(rs.ctx.Endpoint(), kernel.Message{Type: msgRSDrain})
+}
+
+// run is the RS message loop.
+func (rs *RS) run(c *kernel.Ctx) {
+	// Subscribe to PM exit events before anything can die.
+	if _, err := c.SendRec(rs.pmEp, kernel.Message{Type: proto.PMSubscribe}); err != nil {
+		c.Panic("subscribe to pm: " + err.Error())
+	}
+	rs.drain(c)
+	for {
+		rs.armTimer(c)
+		m, err := c.Receive(kernel.Any)
+		if err != nil {
+			return
+		}
+		switch {
+		case m.Type == kernel.MsgNotify && m.Source == kernel.Clock:
+			rs.onTimer(c)
+		case m.Type == msgRSDrain && m.Source == kernel.System:
+			rs.drain(c)
+		case m.Type == proto.PMExitEvent:
+			if m.Source == rs.pmEp {
+				rs.onExitEvent(c, m)
+			}
+		case m.Type == proto.RSPong:
+			rs.onPong(m.Source)
+		case m.Type == proto.RSRestart:
+			rs.onRestartRequest(c, m)
+		case m.Type == proto.RSStop:
+			rs.doStop(c, m.Name)
+			_ = c.Send(m.Source, kernel.Message{Type: proto.RSAck, Arg1: proto.OK})
+		case m.Type == proto.RSComplain:
+			rs.onComplaint(c, m)
+		case m.Type == proto.RSReboot:
+			rs.doReboot(c)
+			_ = c.Send(m.Source, kernel.Message{Type: proto.RSAck, Arg1: proto.OK})
+		}
+	}
+}
+
+func (rs *RS) drain(c *kernel.Ctx) {
+	for len(rs.pending) > 0 {
+		req := rs.pending[0]
+		rs.pending = rs.pending[1:]
+		switch req.kind {
+		case "start":
+			svc := &service{cfg: req.cfg}
+			if svc.cfg.HeartbeatMisses == 0 {
+				svc.cfg.HeartbeatMisses = 3
+			}
+			rs.services[req.cfg.Label] = svc
+			rs.spawnInstance(c, svc)
+		case "stop":
+			rs.doStop(c, req.label)
+		case "update":
+			rs.doUpdate(c, req.cfg)
+		case "kill":
+			if svc, ok := rs.services[req.label]; ok && svc.running {
+				// Attributed to "killed by user": RS merely relays.
+				_ = c.Kill(svc.ep, req.sig)
+			}
+		}
+	}
+}
+
+// spawnInstance starts a fresh process for svc and reintegrates it:
+// privileges are applied at spawn, the new endpoint is published in the
+// data store, and heartbeat monitoring restarts.
+func (rs *RS) spawnInstance(c *kernel.Ctx, svc *service) {
+	ep, err := c.Spawn(svc.cfg.Label, svc.cfg.Priv, svc.cfg.Binary)
+	if err != nil {
+		c.Logf("spawn %s: %v", svc.cfg.Label, err)
+		return
+	}
+	svc.ep = ep
+	svc.running = true
+	svc.stopped = false
+	svc.updating = false
+	svc.killClass = 0
+	svc.missed = 0
+	svc.awaiting = false
+	if svc.cfg.HeartbeatPeriod > 0 {
+		svc.nextPing = c.Now() + svc.cfg.HeartbeatPeriod
+	}
+	// Publish the new endpoint; dependent components subscribed through
+	// the data store learn about the restart from this (paper §5.3).
+	_, err = c.SendRec(rs.dsEp, kernel.Message{
+		Type: proto.DSPublish,
+		Name: svc.cfg.Label,
+		Arg1: int64(ep),
+	})
+	if err != nil {
+		c.Logf("publish %s: %v", svc.cfg.Label, err)
+	}
+	c.Logf("service %s up at %v (failures=%d)", svc.cfg.Label, ep, svc.failures)
+}
+
+// [recovery:begin]
+// onExitEvent handles a PM exit report — defect classes 1–3, plus the
+// tail ends of classes 4–6 whose kills RS itself initiated.
+func (rs *RS) onExitEvent(c *kernel.Ctx, m kernel.Message) {
+	svc, ok := rs.services[m.Name]
+	if !ok || kernel.Endpoint(m.Arg1) != svc.ep {
+		return // not ours, or a stale instance's echo
+	}
+	svc.running = false
+	svc.termKillAt = 0
+	if svc.stopped {
+		return // administrative stop: expected, no recovery
+	}
+	var class Defect
+	switch {
+	case svc.updating:
+		class = DefectUpdate
+	case svc.killClass != 0:
+		class = svc.killClass
+		svc.killClass = 0
+	default:
+		switch m.Arg2 {
+		case proto.CauseExit:
+			class = DefectExit
+		case proto.CauseException:
+			class = DefectException
+		default:
+			class = DefectKilled
+		}
+	}
+	svc.detectedAt = c.Now()
+	rs.recover(c, svc, class)
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// recover runs the policy-driven recovery procedure (§5.2).
+func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
+	// Consecutive-failure accounting: a long stable run resets the count.
+	if svc.lastFailure != 0 && c.Now()-svc.lastFailure > stableResetAfter+svc.cfg.HeartbeatPeriod {
+		svc.failures = 0
+	}
+	if class != DefectUpdate {
+		svc.failures++
+	}
+	svc.lastFailure = c.Now()
+	c.Logf("defect %v in %s (repetition %d)", class, svc.cfg.Label, svc.failures)
+
+	if svc.cfg.MaxRestarts > 0 && svc.failures > svc.cfg.MaxRestarts {
+		svc.gaveUp = true
+		rs.events = append(rs.events, Event{
+			Time: c.Now(), Label: svc.cfg.Label, Defect: class,
+			Repetition: svc.failures, GaveUp: true,
+		})
+		// Withdraw the name so dependents see the component as gone.
+		_, _ = c.SendRec(rs.dsEp, kernel.Message{Type: proto.DSWithdraw, Name: svc.cfg.Label})
+		return
+	}
+
+	if svc.cfg.Policy == nil {
+		// Direct restart (the disk-driver path of §6.2).
+		rs.completeRecovery(c, svc, class)
+		return
+	}
+	svc.pendingClass = class
+	rs.runPolicyScript(c, svc, class)
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// completeRecovery restarts the component and records the event.
+func (rs *RS) completeRecovery(c *kernel.Ctx, svc *service, class Defect) {
+	rs.spawnInstance(c, svc)
+	rs.events = append(rs.events, Event{
+		Time:       svc.detectedAt,
+		Label:      svc.cfg.Label,
+		Defect:     class,
+		Repetition: svc.failures,
+		Recovered:  true,
+		Duration:   c.Now() - svc.detectedAt,
+		NewEp:      svc.ep,
+	})
+	svc.detectedAt = 0
+	svc.pendingClass = 0
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// runPolicyScript launches a transient process that executes the
+// service's recovery script. The script's `service restart` command calls
+// back into RS — "restarting is always done by requesting the
+// reincarnation server to do so, since that is the only process with the
+// privileges to create new servers and drivers" (§5.2).
+func (rs *RS) runPolicyScript(c *kernel.Ctx, svc *service, class Defect) {
+	rs.shSeq++
+	runnerLabel := fmt.Sprintf("sh.%s.%d", svc.cfg.Label, rs.shSeq)
+	rsEp := rs.ctx.Endpoint()
+	script := svc.cfg.Policy
+	args := append([]string{svc.cfg.Label, fmt.Sprint(int(class)), fmt.Sprint(svc.failures)},
+		svc.cfg.PolicyParams...)
+	_, err := c.Spawn(runnerLabel, kernel.Privileges{
+		IPCTo: []string{Label},
+		UID:   1000,
+	}, func(sh *kernel.Ctx) {
+		interp := policy.NewInterp(
+			policy.WithArgs(args...),
+			policy.WithSleep(func(d time.Duration) { sh.Sleep(d) }),
+			policy.WithCommand("service", func(argv []string, stdin string) (string, int) {
+				return rs.serviceCommand(sh, rsEp, argv)
+			}),
+			policy.WithCommand("mail", func(argv []string, stdin string) (string, int) {
+				rs.mailCommand(sh, argv, stdin)
+				return "", 0
+			}),
+			policy.WithCommand("log", func(argv []string, stdin string) (string, int) {
+				sh.Logf("policy log: %v", argv[1:])
+				return "", 0
+			}),
+			policy.WithCommand("reboot", func(argv []string, stdin string) (string, int) {
+				if _, err := sh.SendRec(rsEp, kernel.Message{Type: proto.RSReboot}); err != nil {
+					return "", 1
+				}
+				return "", 0
+			}),
+		)
+		if _, err := interp.Run(script); err != nil {
+			sh.Logf("policy script failed: %v", err)
+			// A broken policy script must not strand the component: fall
+			// back to a direct restart request.
+			_, _ = sh.SendRec(rsEp, kernel.Message{Type: proto.RSRestart, Name: args[0]})
+		}
+		sh.Exit(0)
+	})
+	if err != nil {
+		c.Logf("policy runner for %s: %v", svc.cfg.Label, err)
+		rs.completeRecovery(c, svc, class)
+	}
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// serviceCommand implements the policy scripts' `service` builtin.
+func (rs *RS) serviceCommand(sh *kernel.Ctx, rsEp kernel.Endpoint, argv []string) (string, int) {
+	if len(argv) < 3 {
+		return "service: usage: service restart|stop|update <label>\n", 2
+	}
+	var typ int32
+	switch argv[1] {
+	case "restart":
+		typ = proto.RSRestart
+	case "stop":
+		typ = proto.RSStop
+	case "update":
+		typ = proto.RSUpdate
+	default:
+		return "service: unknown action " + argv[1] + "\n", 2
+	}
+	reply, err := sh.SendRec(rsEp, kernel.Message{Type: typ, Name: argv[2]})
+	if err != nil || reply.Arg1 != proto.OK {
+		return "", 1
+	}
+	return "", 0
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// mailCommand implements the policy scripts' `mail` (alert sink).
+func (rs *RS) mailCommand(sh *kernel.Ctx, argv []string, stdin string) {
+	alert := Alert{Time: sh.Now(), Body: stdin}
+	for i := 1; i < len(argv); i++ {
+		if argv[i] == "-s" && i+1 < len(argv) {
+			alert.Subject = argv[i+1]
+			i++
+			continue
+		}
+		alert.To = argv[i]
+	}
+	rs.alerts = append(rs.alerts, alert)
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// onRestartRequest restarts a service on behalf of a policy script or the
+// service utility.
+func (rs *RS) onRestartRequest(c *kernel.Ctx, m kernel.Message) {
+	svc, ok := rs.services[m.Name]
+	reply := kernel.Message{Type: proto.RSAck, Arg1: proto.OK}
+	switch {
+	case !ok:
+		reply.Arg1 = proto.ErrNotFound
+	case svc.running:
+		// Restart of a live service = administrative replace.
+		rs.beginTermination(c, svc, DefectUpdate)
+	case svc.detectedAt != 0:
+		// The script is finishing a recovery already in progress.
+		rs.completeRecovery(c, svc, rs.lastDefectClass(svc))
+	default:
+		rs.spawnInstance(c, svc)
+	}
+	_ = c.Send(m.Source, reply)
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// lastDefectClass reconstructs the class recorded at detection for the
+// script-driven path. The class is threaded through the script's $2; for
+// the event log we re-derive it from the pending detection.
+func (rs *RS) lastDefectClass(svc *service) Defect {
+	if svc.updating {
+		return DefectUpdate
+	}
+	if svc.pendingClass != 0 {
+		return svc.pendingClass
+	}
+	return DefectExit
+}
+
+// [recovery:end]
+
+// doStop administratively stops a service.
+func (rs *RS) doStop(c *kernel.Ctx, label string) {
+	svc, ok := rs.services[label]
+	if !ok || !svc.running {
+		return
+	}
+	svc.stopped = true
+	rs.beginTermination(c, svc, 0)
+}
+
+// [recovery:begin]
+// doUpdate performs the dynamic-update flow: ask the component to exit
+// (SIGTERM), escalate to SIGKILL after a grace period, then start the new
+// binary. The exit event carries the class-6 attribution via svc.updating.
+func (rs *RS) doUpdate(c *kernel.Ctx, cfg ServiceConfig) {
+	svc, ok := rs.services[cfg.Label]
+	if !ok {
+		rs.pending = append(rs.pending, pendingReq{kind: "start", cfg: cfg})
+		rs.drain(c)
+		return
+	}
+	// Swap in the new binary/version/policy for the next instance; fields
+	// left zero keep the current ones (update-in-place restart).
+	if cfg.Binary != nil {
+		svc.cfg.Binary = cfg.Binary
+	}
+	if cfg.Version != "" {
+		svc.cfg.Version = cfg.Version
+	}
+	if cfg.Policy != nil {
+		svc.cfg.Policy = cfg.Policy
+		svc.cfg.PolicyParams = cfg.PolicyParams
+	}
+	if !svc.running {
+		svc.detectedAt = c.Now()
+		rs.recover(c, svc, DefectUpdate)
+		return
+	}
+	rs.beginTermination(c, svc, DefectUpdate)
+}
+
+// [recovery:end]
+
+// beginTermination sends SIGTERM and arms the SIGKILL escalation.
+func (rs *RS) beginTermination(c *kernel.Ctx, svc *service, class Defect) {
+	if class == DefectUpdate {
+		svc.updating = true
+	}
+	svc.termKillAt = c.Now() + termGrace
+	_ = c.Kill(svc.ep, kernel.SIGTERM)
+}
+
+// [recovery:begin]
+// onComplaint handles defect class 5: an authorized server reports a
+// malfunctioning component; RS kills and replaces it.
+func (rs *RS) onComplaint(c *kernel.Ctx, m kernel.Message) {
+	reply := kernel.Message{Type: proto.RSAck, Arg1: proto.OK}
+	if !rs.k.MayComplain(m.Source) {
+		reply.Arg1 = proto.ErrPerm
+		_ = c.Send(m.Source, reply)
+		return
+	}
+	svc, ok := rs.services[m.Name]
+	if !ok || !svc.running {
+		reply.Arg1 = proto.ErrNotFound
+		_ = c.Send(m.Source, reply)
+		return
+	}
+	c.Logf("complaint about %s from %s", m.Name, rs.k.LabelOf(m.Source))
+	svc.killClass = DefectComplaint
+	_ = c.Kill(svc.ep, kernel.SIGKILL)
+	_ = c.Send(m.Source, reply)
+}
+
+// [recovery:end]
+
+func (rs *RS) doReboot(c *kernel.Ctx) {
+	rs.rebooted = true
+	c.Logf("policy script requested system reboot")
+	if rs.onReboot != nil {
+		rs.onReboot()
+	}
+}
+
+// armTimer sets RS's alarm to the earliest pending deadline (heartbeat
+// pings and SIGTERM escalations share the single kernel alarm).
+func (rs *RS) armTimer(c *kernel.Ctx) {
+	var next sim.Time
+	for _, svc := range rs.services {
+		if svc.running && svc.cfg.HeartbeatPeriod > 0 {
+			if next == 0 || svc.nextPing < next {
+				next = svc.nextPing
+			}
+		}
+		if svc.running && svc.termKillAt != 0 {
+			if next == 0 || svc.termKillAt < next {
+				next = svc.termKillAt
+			}
+		}
+	}
+	if next == 0 {
+		c.SetAlarm(0)
+		return
+	}
+	d := next - c.Now()
+	if d <= 0 {
+		d = 1 // fire on the next tick, never in the past
+	}
+	c.SetAlarm(d)
+}
+
+// [recovery:begin]
+// onTimer processes due heartbeats and SIGTERM escalations.
+func (rs *RS) onTimer(c *kernel.Ctx) {
+	now := c.Now()
+	for _, svc := range rs.services {
+		if !svc.running {
+			continue
+		}
+		if svc.termKillAt != 0 && now >= svc.termKillAt {
+			svc.termKillAt = 0
+			_ = c.Kill(svc.ep, kernel.SIGKILL)
+			continue
+		}
+		if svc.cfg.HeartbeatPeriod > 0 && now >= svc.nextPing {
+			if svc.awaiting {
+				svc.missed++
+				if svc.missed >= svc.cfg.HeartbeatMisses {
+					// Defect class 4: the component is stuck. Kill it;
+					// the exit event completes the recovery.
+					c.Logf("%s missed %d heartbeats; declaring stuck", svc.cfg.Label, svc.missed)
+					svc.killClass = DefectHeartbeat
+					svc.awaiting = false
+					svc.missed = 0
+					_ = c.Kill(svc.ep, kernel.SIGKILL)
+					continue
+				}
+			}
+			// Nonblocking status request (§5.1).
+			svc.awaiting = true
+			_ = c.AsyncSend(svc.ep, kernel.Message{Type: proto.RSPing})
+			svc.nextPing = now + svc.cfg.HeartbeatPeriod
+		}
+	}
+}
+
+// [recovery:end]
+
+func (rs *RS) onPong(from kernel.Endpoint) {
+	for _, svc := range rs.services {
+		if svc.ep == from {
+			svc.awaiting = false
+			svc.missed = 0
+			return
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package rtl8139 implements the RealTek 8139-class Ethernet driver used
+// by the Fig. 7 experiment (wget with driver kills). Its control paths —
+// reset, receiver enable, transmit kick, receive pop — run as ucode on the
+// driver VM, so the fault injector can mutate the running "binary"; bulk
+// frame data moves through the NIC's DMA window.
+package rtl8139
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"resilientos/internal/drvlib"
+	"resilientos/internal/hw"
+	"resilientos/internal/kernel"
+	"resilientos/internal/proto"
+	"resilientos/internal/ucode"
+)
+
+// src is the driver's control-path program. Results are returned in r1.
+const src = `
+; RTL8139-class driver control paths.
+.entry reset
+reset:
+	movi r1, BASE
+	movi r2, CMDRESET
+	out  [r1+REGCMD], r2
+	halt
+
+.entry status            ; r1 = status register
+status:
+	movi r1, BASE
+	in   r2, [r1+REGSTATUS]
+	mov  r1, r2
+	halt
+
+.entry enable            ; enable receiver in promiscuous mode
+enable:
+	movi r1, BASE
+	movi r2, CFGPROMISC
+	out  [r1+REGCFG], r2
+	in   r3, [r1+REGCFG]
+	cmp  r3, r2
+	movi r4, 1
+	jz   cfgok
+	movi r4, 0
+cfgok:
+	assert r4              ; config readback must match what we wrote
+	movi r2, CMDRXEN
+	out  [r1+REGCMD], r2
+	in   r3, [r1+REGSTATUS]
+	andi r3, STENABLED
+	assert r3              ; receiver must report enabled
+	halt
+
+.entry tx                ; transmit the DMA window; fails if tx busy
+tx:
+	movi r1, BASE
+	in   r2, [r1+REGSTATUS]
+	andi r2, STTXBUSY
+	cmpi r2, 0
+	jnz  txbusy
+	movi r2, 1
+	out  [r1+REGTXGO], r2
+	movi r3, 40            ; tx accounting slot in driver RAM
+	ld   r4, [r3+0]
+	addi r4, 1
+	st   [r3+0], r4
+	assert r4              ; counter can never be zero after increment
+	movi r1, 1
+	halt
+txbusy:
+	movi r1, 0
+	fail
+
+.entry rx                ; pop one received frame; r1 = its length (0 none)
+rx:
+	movi r1, BASE
+	in   r2, [r1+REGRXLEN]
+	cmpi r2, 0
+	jz   norx
+	movi r3, 1
+	out  [r1+REGRXPOP], r3
+	movi r4, 41            ; rx accounting slot in driver RAM
+	ld   r5, [r4+0]
+	addi r5, 1
+	st   [r4+0], r5
+	assert r2              ; popped frame must have nonzero length
+	mov  r1, r2
+	halt
+norx:
+	movi r1, 0
+	halt
+`
+
+// image assembles the pristine driver binary for a NIC at the given base.
+func image(base uint32) *ucode.Image {
+	return ucode.MustAssemble(src, map[string]uint32{
+		"BASE":       base,
+		"REGCMD":     hw.NICRegCmd,
+		"REGSTATUS":  hw.NICRegStatus,
+		"REGCFG":     hw.NICRegCfg,
+		"REGRXLEN":   hw.NICRegRxLen,
+		"REGRXPOP":   hw.NICRegRxPop,
+		"REGTXGO":    hw.NICRegTxGo,
+		"CMDRESET":   hw.NICCmdReset,
+		"CMDRXEN":    hw.NICCmdRxEnable,
+		"CFGPROMISC": hw.NICCfgPromisc,
+		"STENABLED":  hw.NICStatEnabled,
+		"STTXBUSY":   hw.NICStatTxBusy,
+	})
+}
+
+// Config configures a driver instance factory.
+type Config struct {
+	NIC *hw.NIC
+	// QueueLen bounds the internal transmit queue (default 64).
+	QueueLen int
+	// OnVM, if set, is called with each new instance's VM — the hook the
+	// fault-injection campaign uses to reach the running binary.
+	OnVM func(*ucode.VM)
+}
+
+// Binary returns the service binary for this driver. Each (re)start calls
+// it afresh, so a restarted instance runs a pristine image.
+func Binary(cfg Config) func(c *kernel.Ctx) {
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 64
+	}
+	return func(c *kernel.Ctx) {
+		d := &driver{cfg: cfg}
+		drvlib.Run(c, d)
+	}
+}
+
+type driver struct {
+	cfg    Config
+	vm     *ucode.VM
+	handle *hw.NICHandle
+	txQ    [][]byte
+	txBusy bool
+	client kernel.Endpoint // who gets received frames (last configurer)
+	opened bool
+}
+
+var errResetTimeout = errors.New("rtl8139: reset did not complete")
+
+// Init implements drvlib.Device: reset and (re)initialize the card. After
+// a crash this is what puts the card back in promiscuous receive mode
+// (paper §6.1).
+func (d *driver) Init(c *kernel.Ctx) error {
+	// The image is position-dependent on the NIC's port base; assemble a
+	// pristine copy for this instance.
+	img := image(d.cfg.NIC.PortRange().Lo)
+	d.vm = ucode.New(img, drvlib.CtxBus{C: c})
+	if d.cfg.OnVM != nil {
+		d.cfg.OnVM(d.vm)
+	}
+	d.handle = d.cfg.NIC.Handle()
+	if err := c.IRQSubscribe(d.cfg.NIC.IRQ()); err != nil {
+		return fmt.Errorf("irq: %w", err)
+	}
+	drvlib.React(c, d.vm.Run("reset"))
+	// Poll for reset completion; the card takes NICResetDelay.
+	deadline := c.Now() + 2*time.Second
+	for {
+		c.Sleep(10 * time.Millisecond)
+		if !drvlib.React(c, d.vm.Run("status")) {
+			continue
+		}
+		st := d.vm.Regs[1]
+		if st&hw.NICStatResetBsy == 0 {
+			break
+		}
+		if c.Now() > deadline {
+			return errResetTimeout
+		}
+	}
+	if !drvlib.React(c, d.vm.Run("enable")) {
+		return errors.New("rtl8139: enable failed")
+	}
+	return nil
+}
+
+// HandleRequest implements drvlib.Device.
+func (d *driver) HandleRequest(c *kernel.Ctx, m kernel.Message) {
+	switch m.Type {
+	case proto.EthConf:
+		d.client = m.Source
+		d.opened = true
+		_ = c.Send(m.Source, kernel.Message{Type: proto.EthAck, Arg1: proto.OK})
+	case proto.EthSend:
+		if len(d.txQ) >= d.cfg.QueueLen {
+			return // queue overflow: frame dropped, TCP will retransmit
+		}
+		d.txQ = append(d.txQ, m.Payload)
+		d.pump(c)
+	}
+}
+
+// pump pushes queued frames into the card whenever the transmitter idles.
+func (d *driver) pump(c *kernel.Ctx) {
+	if d.txBusy || len(d.txQ) == 0 {
+		return
+	}
+	frame := d.txQ[0]
+	d.txQ = d.txQ[1:]
+	d.handle.SetTx(frame)
+	if drvlib.React(c, d.vm.Run("tx")) {
+		d.txBusy = true
+	}
+}
+
+// HandleIRQ implements drvlib.Device: drain received frames and continue
+// transmitting.
+func (d *driver) HandleIRQ(c *kernel.Ctx, mask uint64) {
+	// Drain the receive ring.
+	for {
+		if !drvlib.React(c, d.vm.Run("rx")) {
+			break
+		}
+		if d.vm.Regs[1] == 0 {
+			break
+		}
+		frame := d.handle.TakeRx()
+		if frame == nil {
+			break
+		}
+		if d.client != kernel.None && d.client != 0 {
+			_ = c.AsyncSend(d.client, kernel.Message{Type: proto.EthRecv, Payload: frame})
+		}
+	}
+	// A tx-done interrupt frees the transmitter.
+	if drvlib.React(c, d.vm.Run("status")) {
+		if d.vm.Regs[1]&hw.NICStatTxBusy == 0 {
+			d.txBusy = false
+			d.pump(c)
+		}
+	}
+}
+
+// HandleAlarm implements drvlib.Device.
+func (d *driver) HandleAlarm(c *kernel.Ctx) {}
+
+// Shutdown implements drvlib.Device.
+func (d *driver) Shutdown(c *kernel.Ctx) {
+	drvlib.React(c, d.vm.Run("reset"))
+}

@@ -1,0 +1,116 @@
+// Package drvlib is the shared driver library: the canonical message loop
+// every driver in the system runs. It corresponds to MINIX's libdriver —
+// and carries the paper's headline reengineering result: supporting
+// recovery costs a driver almost nothing, because the only additions are
+// replying to heartbeat requests and honoring shutdown requests, about
+// five lines in the shared library (Fig. 9 lists both Ethernet drivers and
+// the SATA driver at 5 recovery LoC, the RAM disk at 0).
+//
+// Lines that exist only to support recovery are marked "// [recovery]" —
+// the marker cmd/locstats counts to regenerate Fig. 9.
+package drvlib
+
+import (
+	"time"
+
+	"resilientos/internal/kernel"
+	"resilientos/internal/proto"
+	"resilientos/internal/ucode"
+)
+
+// Device is the driver-specific half of a driver process. Run supplies
+// the message loop; the Device supplies hardware knowledge.
+type Device interface {
+	// Init resets and initializes the hardware. Called once at startup —
+	// which, after a crash, is what reinitializes the device for the
+	// fresh driver instance.
+	Init(c *kernel.Ctx) error
+	// HandleRequest processes one protocol request.
+	HandleRequest(c *kernel.Ctx, m kernel.Message)
+	// HandleIRQ processes a hardware interrupt (mask of pending lines).
+	HandleIRQ(c *kernel.Ctx, mask uint64)
+	// HandleAlarm processes a clock alarm.
+	HandleAlarm(c *kernel.Ctx)
+	// Shutdown quiesces the device for a clean exit (dynamic update).
+	Shutdown(c *kernel.Ctx)
+}
+
+// Run executes the canonical driver message loop. It does not return
+// except by process exit.
+func Run(c *kernel.Ctx, d Device) {
+	if err := d.Init(c); err != nil {
+		c.Panic("init: " + err.Error())
+	}
+	for {
+		m, err := c.Receive(kernel.Any)
+		if err != nil {
+			c.Panic("receive: " + err.Error())
+		}
+		switch {
+		case m.Type == kernel.MsgNotify && m.Source == kernel.Hardware:
+			d.HandleIRQ(c, uint64(m.Arg1))
+		case m.Type == kernel.MsgNotify && m.Source == kernel.Clock:
+			d.HandleAlarm(c)
+		case m.Type == kernel.MsgNotify && m.Source == kernel.System:
+			for _, sig := range c.SigPending() {
+				if sig == kernel.SIGTERM { // [recovery] shutdown request
+					d.Shutdown(c) // [recovery]
+					c.Exit(0)     // [recovery]
+				}
+			}
+		case m.Type == proto.RSPing: // [recovery] heartbeat request
+			_ = c.AsyncSend(m.Source, kernel.Message{Type: proto.RSPong}) // [recovery]
+		default:
+			d.HandleRequest(c, m)
+		}
+	}
+}
+
+// Stuck emulates a driver wedged in an infinite loop: the process stays
+// alive but never again answers messages — detectable only through missed
+// heartbeats (defect class 4). It never returns.
+func Stuck(c *kernel.Ctx) {
+	for {
+		c.Sleep(time.Hour)
+	}
+}
+
+// CtxBus adapts a driver's kernel context to the ucode VM's port bus, so
+// VM port instructions go through the kernel's privilege checks.
+type CtxBus struct{ C *kernel.Ctx }
+
+var _ ucode.IOBus = CtxBus{}
+
+// In implements ucode.IOBus.
+func (b CtxBus) In(port uint32) (uint32, bool) {
+	v, err := b.C.DevIn(port)
+	return v, err == nil
+}
+
+// Out implements ucode.IOBus.
+func (b CtxBus) Out(port uint32, val uint32) bool {
+	return b.C.DevOut(port, val) == nil
+}
+
+// React converts a VM result into driver behavior: consistency failures
+// panic the driver, traps kill it with the corresponding exception, and a
+// stall wedges the process — the §7.2 failure classes. It returns true if
+// the routine succeeded, false if it reported a clean failure. On the
+// fatal outcomes it never returns.
+func React(c *kernel.Ctx, res ucode.Result) bool {
+	switch res.Outcome {
+	case ucode.OutcomeOK:
+		return true
+	case ucode.OutcomeFail:
+		return false
+	case ucode.OutcomeAssert:
+		c.Panic(res.Reason)
+	case ucode.OutcomeMMU:
+		c.Trap(kernel.ExcMMU)
+	case ucode.OutcomeCPU:
+		c.Trap(kernel.ExcCPU)
+	case ucode.OutcomeStall:
+		Stuck(c)
+	}
+	return false
+}

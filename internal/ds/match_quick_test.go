@@ -1,0 +1,53 @@
+package ds
+
+import (
+	"math/rand"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Match agrees with a reference implementation built on the
+// stdlib regexp engine, across random patterns and names drawn from a
+// small alphabet (so collisions actually occur).
+func TestMatchAgreesWithRegexp(t *testing.T) {
+	alphabet := []rune("ab.*?")
+	gen := func(r *rand.Rand, n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(alphabet[r.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	ref := func(pattern, name string) bool {
+		var re strings.Builder
+		re.WriteString("^")
+		for _, c := range pattern {
+			switch c {
+			case '*':
+				re.WriteString(".*")
+			case '?':
+				re.WriteString(".")
+			default:
+				re.WriteString(regexp.QuoteMeta(string(c)))
+			}
+		}
+		re.WriteString("$")
+		return regexp.MustCompile(re.String()).MatchString(name)
+	}
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(gen(r, r.Intn(8)))
+			args[1] = reflect.ValueOf(strings.ReplaceAll(strings.ReplaceAll(gen(r, r.Intn(10)), "*", "a"), "?", "b"))
+		},
+	}
+	f := func(pattern, name string) bool {
+		return Match(pattern, name) == ref(pattern, name)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package fslib
+
+import (
+	"errors"
+	"testing"
+
+	"resilientos/internal/proto"
+)
+
+func TestCodeErrMapping(t *testing.T) {
+	cases := map[int64]error{
+		proto.ErrNotFound: ErrNotFound,
+		proto.ErrExist:    ErrExist,
+		proto.ErrIO:       ErrIO,
+		proto.ErrNoSpace:  ErrNoSpace,
+		proto.ErrAgain:    ErrAgain,
+	}
+	for code, want := range cases {
+		if !errors.Is(codeErr(code), want) {
+			t.Errorf("code %d not mapped to %v", code, want)
+		}
+	}
+	if err := codeErr(-99); err == nil {
+		t.Error("unknown code mapped to nil")
+	}
+}

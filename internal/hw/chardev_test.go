@@ -1,0 +1,169 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAudioPlaybackConsumes(t *testing.T) {
+	env, k := testRig(t)
+	a := NewAudio(env, k, AudioConfig{Base: 0x3000, IRQ: 5, PlayRate: 100_000})
+	h := a.Handle()
+	h.Feed(50_000)
+	a.PortOut(0x3000+CharRegCmd, CharCmdStart)
+	env.Run(200 * time.Millisecond)
+	if a.Consumed == 0 {
+		t.Fatal("nothing consumed")
+	}
+	if a.Consumed > 50_000 {
+		t.Fatalf("consumed %d > fed 50000", a.Consumed)
+	}
+}
+
+func TestAudioUnderrunOnStarvation(t *testing.T) {
+	env, k := testRig(t)
+	a := NewAudio(env, k, AudioConfig{Base: 0x3000, IRQ: 5, PlayRate: 100_000})
+	h := a.Handle()
+	h.Feed(10_000) // 100ms of audio
+	a.PortOut(0x3000+CharRegCmd, CharCmdStart)
+	env.Run(time.Second) // runs dry
+	if a.Underruns != 1 {
+		t.Fatalf("Underruns = %d, want 1 episode", a.Underruns)
+	}
+	// Refill: a second starvation is a second episode.
+	h.Feed(10_000)
+	env.Run(time.Second)
+	if a.Underruns != 2 {
+		t.Fatalf("Underruns = %d, want 2", a.Underruns)
+	}
+}
+
+func TestAudioFeedRespectsCapacity(t *testing.T) {
+	env, k := testRig(t)
+	a := NewAudio(env, k, AudioConfig{Base: 0x3000, IRQ: 5, BufSize: 1000})
+	h := a.Handle()
+	if n := h.Feed(800); n != 800 {
+		t.Fatalf("Feed = %d, want 800", n)
+	}
+	if n := h.Feed(800); n != 200 {
+		t.Fatalf("Feed = %d, want 200 (capacity)", n)
+	}
+	if h.Buffered() != 1000 {
+		t.Fatalf("Buffered = %d", h.Buffered())
+	}
+	_ = env
+}
+
+func TestAudioStopAndReset(t *testing.T) {
+	env, k := testRig(t)
+	a := NewAudio(env, k, AudioConfig{Base: 0x3000, IRQ: 5, PlayRate: 100_000})
+	a.Handle().Feed(50_000)
+	a.PortOut(0x3000+CharRegCmd, CharCmdStart)
+	env.Run(100 * time.Millisecond)
+	a.PortOut(0x3000+CharRegCmd, CharCmdStop)
+	consumed := a.Consumed
+	env.Run(time.Second)
+	if a.Consumed != consumed {
+		t.Fatal("device consumed while stopped")
+	}
+	a.PortOut(0x3000+CharRegCmd, CharCmdReset)
+	if a.Handle().Buffered() != 0 {
+		t.Fatal("reset kept buffer")
+	}
+}
+
+func TestPrinterPrintsLines(t *testing.T) {
+	env, k := testRig(t)
+	p := NewPrinter(env, k, PrinterConfig{Base: 0x3100, IRQ: 7})
+	h := p.Handle()
+	if !h.Submit("page 1") {
+		t.Fatal("submit rejected on idle printer")
+	}
+	if h.Submit("page 2") {
+		t.Fatal("submit accepted while busy")
+	}
+	env.Run(time.Second)
+	if !h.Submit("page 2") {
+		t.Fatal("submit rejected after completion")
+	}
+	env.Run(time.Second)
+	if len(p.Output) != 2 || p.Output[0] != "page 1" || p.Output[1] != "page 2" {
+		t.Fatalf("output = %v", p.Output)
+	}
+}
+
+func TestPrinterResetLosesInFlightLine(t *testing.T) {
+	env, k := testRig(t)
+	p := NewPrinter(env, k, PrinterConfig{Base: 0x3100, IRQ: 7})
+	p.Handle().Submit("doomed")
+	p.PortOut(0x3100+CharRegCmd, CharCmdReset)
+	env.Run(time.Second)
+	if len(p.Output) != 0 {
+		t.Fatalf("output = %v, want empty (line was lost by reset)", p.Output)
+	}
+}
+
+func TestBurnerCompletesWhenFed(t *testing.T) {
+	env, k := testRig(t)
+	b := NewBurner(env, k, BurnerConfig{Base: 0x3200, IRQ: 11, GapLimit: 100 * time.Millisecond})
+	h := b.Handle()
+	h.Begin(1000)
+	for i := 0; i < 10; i++ {
+		env.Run(50 * time.Millisecond) // inside the gap limit
+		h.Write(100)
+	}
+	if !h.Finish() {
+		t.Fatal("well-fed burn failed")
+	}
+}
+
+func TestBurnerRuinedByGap(t *testing.T) {
+	env, k := testRig(t)
+	b := NewBurner(env, k, BurnerConfig{Base: 0x3200, IRQ: 11, GapLimit: 100 * time.Millisecond})
+	h := b.Handle()
+	h.Begin(1000)
+	h.Write(100)
+	env.Run(500 * time.Millisecond) // driver dead: gap exceeds the limit
+	for i := 0; i < 9; i++ {
+		h.Write(100)
+		env.Run(10 * time.Millisecond)
+	}
+	if h.Finish() {
+		t.Fatal("burn with a half-second stall produced a good disc")
+	}
+	if !b.Ruined() {
+		t.Fatal("Ruined not reported")
+	}
+}
+
+func TestBurnerIncompleteIsBad(t *testing.T) {
+	env, k := testRig(t)
+	b := NewBurner(env, k, BurnerConfig{Base: 0x3200, IRQ: 11})
+	h := b.Handle()
+	h.Begin(1000)
+	h.Write(100)
+	if h.Finish() {
+		t.Fatal("10% burn reported good")
+	}
+	_ = env
+}
+
+func TestMachineAssembly(t *testing.T) {
+	env, k := testRig(t)
+	m := NewMachine(env, k, MachineConfig{DiskSeed: 3})
+	if m.NIC0 == nil || m.NIC1 == nil || m.Remote == nil || m.Disk == nil {
+		t.Fatal("machine incomplete")
+	}
+	// NIC0 and the remote peer are wired together.
+	enable(m.NIC0)
+	enable(m.Remote)
+	m.Remote.Handle().SetTx([]byte("from afar"))
+	m.Remote.PortOut(0xF000+NICRegTxGo, 1)
+	env.Run(time.Second)
+	if s, _ := m.NIC0.PortIn(PortNIC0 + NICRegStatus); s&NICStatRxAvail == 0 {
+		t.Fatal("remote frame did not reach NIC0")
+	}
+	if m.Disk.Sectors() != 8<<20 {
+		t.Fatalf("default disk sectors = %d", m.Disk.Sectors())
+	}
+}

@@ -1,0 +1,244 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"resilientos/internal/kernel"
+	"resilientos/internal/sim"
+)
+
+func testRig(t *testing.T) (*sim.Env, *kernel.Kernel) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	return env, kernel.New(env)
+}
+
+func nicPair(env *sim.Env, k *kernel.Kernel, cfg NICConfig) (*NIC, *NIC, *Wire) {
+	a := NewNIC(env, k, cfg)
+	bCfg := cfg
+	bCfg.Base = cfg.Base + 0x100
+	bCfg.IRQ = cfg.IRQ + 1
+	b := NewNIC(env, k, bCfg)
+	w := Connect(env, a, b)
+	return a, b, w
+}
+
+// enable turns the receiver on directly (tests drive registers without a
+// kernel process, via the Device interface).
+func enable(n *NIC) {
+	n.PortOut(n.cfg.Base+NICRegCmd, NICCmdRxEnable)
+}
+
+func TestNICFrameTransfer(t *testing.T) {
+	env, k := testRig(t)
+	a, b, _ := nicPair(env, k, NICConfig{Base: 0x1000, IRQ: 9})
+	enable(a)
+	enable(b)
+	payload := []byte("hello ethernet")
+	a.Handle().SetTx(payload)
+	a.PortOut(0x1000+NICRegTxGo, 1)
+	env.Run(time.Second)
+	if got, _ := b.PortIn(b.cfg.Base + NICRegStatus); got&NICStatRxAvail == 0 {
+		t.Fatal("no frame pending at receiver")
+	}
+	ln, _ := b.PortIn(b.cfg.Base + NICRegRxLen)
+	if int(ln) != len(payload) {
+		t.Fatalf("RxLen = %d, want %d", ln, len(payload))
+	}
+	b.PortOut(b.cfg.Base+NICRegRxPop, 1)
+	got := b.Handle().TakeRx()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame = %q, want %q", got, payload)
+	}
+	if a.Stats.TxFrames != 1 || b.Stats.RxDelivered != 1 {
+		t.Fatalf("stats: tx=%d rx=%d", a.Stats.TxFrames, b.Stats.RxDelivered)
+	}
+}
+
+func TestNICDropsWhenDisabled(t *testing.T) {
+	env, k := testRig(t)
+	a, b, _ := nicPair(env, k, NICConfig{Base: 0x1000, IRQ: 9})
+	enable(a) // receiver b NOT enabled
+	a.Handle().SetTx([]byte("lost"))
+	a.PortOut(0x1000+NICRegTxGo, 1)
+	env.Run(time.Second)
+	if b.Stats.RxDropped != 1 {
+		t.Fatalf("RxDropped = %d, want 1", b.Stats.RxDropped)
+	}
+}
+
+func TestNICRingOverflow(t *testing.T) {
+	env, k := testRig(t)
+	a, b, _ := nicPair(env, k, NICConfig{Base: 0x1000, IRQ: 9, RingSize: 2})
+	enable(a)
+	enable(b)
+	for i := 0; i < 5; i++ {
+		a.Handle().SetTx([]byte{byte(i)})
+		a.PortOut(0x1000+NICRegTxGo, 1)
+		env.Run(time.Millisecond) // let each serialize
+	}
+	env.Run(time.Second)
+	if b.Stats.RxDropped != 3 {
+		t.Fatalf("RxDropped = %d, want 3 (ring of 2, 5 frames)", b.Stats.RxDropped)
+	}
+}
+
+func TestNICTxBusySerializes(t *testing.T) {
+	env, k := testRig(t)
+	a, b, _ := nicPair(env, k, NICConfig{Base: 0x1000, IRQ: 9})
+	enable(a)
+	enable(b)
+	a.Handle().SetTx(make([]byte, 1500))
+	a.PortOut(0x1000+NICRegTxGo, 1)
+	// Second TxGo while busy: the window is empty anyway, nothing sends.
+	a.PortOut(0x1000+NICRegTxGo, 1)
+	env.Run(time.Second)
+	if a.Stats.TxFrames != 1 {
+		t.Fatalf("TxFrames = %d, want 1", a.Stats.TxFrames)
+	}
+}
+
+func TestNICSerializationDelayMatchesRate(t *testing.T) {
+	env, k := testRig(t)
+	a, b, _ := nicPair(env, k, NICConfig{Base: 0x1000, IRQ: 9, RateBps: 1_000_000})
+	enable(a)
+	enable(b)
+	a.Handle().SetTx(make([]byte, 1000)) // 1000B at 1MB/s = 1ms + 50µs wire
+	a.PortOut(0x1000+NICRegTxGo, 1)
+	var arrived sim.Time
+	for i := sim.Time(0); i < 10*time.Millisecond; i += 10 * time.Microsecond {
+		env.Run(10 * time.Microsecond)
+		if b.Stats.RxDelivered == 0 {
+			if s, _ := b.PortIn(b.cfg.Base + NICRegStatus); s&NICStatRxAvail != 0 {
+				arrived = env.Now()
+				break
+			}
+		}
+	}
+	want := sim.Time(1050 * time.Microsecond)
+	if arrived != want {
+		t.Fatalf("frame arrived at %v, want %v", arrived, want)
+	}
+}
+
+func TestWireCorruptionDroppedByFCS(t *testing.T) {
+	env, k := testRig(t)
+	a, b, w := nicPair(env, k, NICConfig{Base: 0x1000, IRQ: 9})
+	w.CorruptProb = 1.0
+	enable(a)
+	enable(b)
+	a.Handle().SetTx([]byte("garbled on the wire"))
+	a.PortOut(0x1000+NICRegTxGo, 1)
+	env.Run(time.Second)
+	if b.Stats.FCSErrors != 1 {
+		t.Fatalf("FCSErrors = %d, want 1", b.Stats.FCSErrors)
+	}
+	if b.Stats.RxDelivered != 0 {
+		t.Fatal("corrupted frame delivered")
+	}
+}
+
+func TestWireLoss(t *testing.T) {
+	env, k := testRig(t)
+	a, b, w := nicPair(env, k, NICConfig{Base: 0x1000, IRQ: 9})
+	w.LossProb = 1.0
+	enable(a)
+	enable(b)
+	a.Handle().SetTx([]byte("into the void"))
+	a.PortOut(0x1000+NICRegTxGo, 1)
+	env.Run(time.Second)
+	if w.Lost != 1 {
+		t.Fatalf("Lost = %d, want 1", w.Lost)
+	}
+}
+
+func TestNICConfusionOnGarbageCommand(t *testing.T) {
+	env, k := testRig(t)
+	n := NewNIC(env, k, NICConfig{Base: 0x1000, IRQ: 9, ConfuseProb: 1.0})
+	n.PortOut(0x1000+NICRegCmd, 0xDEAD) // garbage command
+	confused, deep := n.Confused()
+	if !confused || deep {
+		t.Fatalf("confused=%v deep=%v, want soft confusion", confused, deep)
+	}
+	// Enable is ignored while confused.
+	enable(n)
+	if s, _ := n.PortIn(0x1000 + NICRegStatus); s&NICStatEnabled != 0 {
+		t.Fatal("confused card accepted RxEnable")
+	}
+	// A soft reset clears it.
+	n.PortOut(0x1000+NICRegCmd, NICCmdReset)
+	env.Run(time.Second)
+	if c, _ := n.Confused(); c {
+		t.Fatal("reset did not clear soft confusion")
+	}
+	enable(n)
+	if s, _ := n.PortIn(0x1000 + NICRegStatus); s&NICStatEnabled == 0 {
+		t.Fatal("card not enabled after reset")
+	}
+}
+
+func TestNICDeepConfusionNeedsMasterReset(t *testing.T) {
+	env, k := testRig(t)
+	n := NewNIC(env, k, NICConfig{
+		Base: 0x1000, IRQ: 9,
+		ConfuseProb: 1.0, DeepConfuseProb: 1.0, MasterReset: true,
+	})
+	n.PortOut(0x1000+NICRegCmd, 0xDEAD)
+	if _, deep := n.Confused(); !deep {
+		t.Fatal("expected deep confusion")
+	}
+	// Soft reset does not clear deep confusion.
+	n.PortOut(0x1000+NICRegCmd, NICCmdReset)
+	env.Run(time.Second)
+	if c, _ := n.Confused(); !c {
+		t.Fatal("soft reset cleared deep confusion")
+	}
+	// Master reset does.
+	n.PortOut(0x1000+NICRegCmd, NICCmdMasterReset)
+	env.Run(time.Second)
+	if c, _ := n.Confused(); c {
+		t.Fatal("master reset did not clear deep confusion")
+	}
+}
+
+func TestNICWithoutMasterResetNeedsBIOS(t *testing.T) {
+	// The authors' card: no master reset command, so only a host-level
+	// BIOS reset recovers deep confusion (paper §7.2).
+	env, k := testRig(t)
+	n := NewNIC(env, k, NICConfig{
+		Base: 0x1000, IRQ: 9,
+		ConfuseProb: 1.0, DeepConfuseProb: 1.0, MasterReset: false,
+	})
+	n.PortOut(0x1000+NICRegCmd, 0xBAD)
+	if _, deep := n.Confused(); !deep {
+		t.Fatal("expected deep confusion")
+	}
+	n.PortOut(0x1000+NICRegCmd, NICCmdReset)
+	env.Run(time.Second)
+	n.PortOut(0x1000+NICRegCmd, NICCmdMasterReset) // unsupported
+	env.Run(time.Second)
+	if c, _ := n.Confused(); !c {
+		t.Fatal("unsupported master reset cleared confusion")
+	}
+	n.BIOSReset()
+	if c, _ := n.Confused(); c {
+		t.Fatal("BIOS reset did not clear confusion")
+	}
+}
+
+func TestNICResetDropsPendingFrames(t *testing.T) {
+	env, k := testRig(t)
+	a, b, _ := nicPair(env, k, NICConfig{Base: 0x1000, IRQ: 9})
+	enable(a)
+	enable(b)
+	a.Handle().SetTx([]byte("pending"))
+	a.PortOut(0x1000+NICRegTxGo, 1)
+	env.Run(time.Second)
+	b.PortOut(b.cfg.Base+NICRegCmd, NICCmdReset)
+	env.Run(time.Second)
+	if ln, _ := b.PortIn(b.cfg.Base + NICRegRxLen); ln != 0 {
+		t.Fatal("reset kept pending rx frames")
+	}
+}

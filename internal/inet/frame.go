@@ -1,0 +1,143 @@
+package inet
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Wire format: one Ethernet frame carries one TCP segment or UDP
+// datagram. The header layout is fixed:
+//
+//	byte 0     protocol (1 = TCP, 2 = UDP)
+//	bytes 1-2  source port
+//	bytes 3-4  destination port
+//
+// TCP continues with:
+//
+//	bytes 5-8   sequence number
+//	bytes 9-12  acknowledgment number
+//	byte  13    flags (SYN/ACK/FIN/RST)
+//	bytes 14-15 advertised receive window
+//	bytes 16-19 checksum (CRC-32 over the frame with this field zeroed)
+//	bytes 20+   payload
+//
+// UDP continues with:
+//
+//	bytes 5-8   checksum
+//	bytes 9+    payload
+//
+// The end-to-end checksum is what guarantees that a buggy driver cannot
+// silently corrupt a TCP stream (§6.1: TCP "will notice and reinsert the
+// missing packets in the data stream").
+
+// Protocol numbers.
+const (
+	protoTCP = 1
+	protoUDP = 2
+)
+
+// TCP header flags.
+const (
+	flagSYN = 1 << iota
+	flagACK
+	flagFIN
+	flagRST
+)
+
+// tcpHeaderLen is the byte length of the TCP-on-wire header.
+const tcpHeaderLen = 20
+
+// udpHeaderLen is the byte length of the UDP-on-wire header.
+const udpHeaderLen = 9
+
+// MSS is the maximum TCP payload per frame (Ethernet 1500 minus header).
+const MSS = 1500 - tcpHeaderLen
+
+// segment is a decoded TCP segment.
+type segment struct {
+	srcPort, dstPort uint16
+	seq, ack         uint32
+	flags            uint8
+	wnd              uint16
+	payload          []byte
+}
+
+// datagram is a decoded UDP datagram.
+type datagram struct {
+	srcPort, dstPort uint16
+	payload          []byte
+}
+
+// encodeTCP serializes a segment into a frame.
+func encodeTCP(s *segment) []byte {
+	f := make([]byte, tcpHeaderLen+len(s.payload))
+	f[0] = protoTCP
+	binary.BigEndian.PutUint16(f[1:], s.srcPort)
+	binary.BigEndian.PutUint16(f[3:], s.dstPort)
+	binary.BigEndian.PutUint32(f[5:], s.seq)
+	binary.BigEndian.PutUint32(f[9:], s.ack)
+	f[13] = s.flags
+	binary.BigEndian.PutUint16(f[14:], s.wnd)
+	copy(f[tcpHeaderLen:], s.payload)
+	binary.BigEndian.PutUint32(f[16:], crc32.ChecksumIEEE(f))
+	return f
+}
+
+// decodeTCP parses a frame as a TCP segment, verifying the checksum.
+func decodeTCP(f []byte) (*segment, bool) {
+	if len(f) < tcpHeaderLen || f[0] != protoTCP {
+		return nil, false
+	}
+	sum := binary.BigEndian.Uint32(f[16:])
+	cp := make([]byte, len(f))
+	copy(cp, f)
+	binary.BigEndian.PutUint32(cp[16:], 0)
+	if crc32.ChecksumIEEE(cp) != sum {
+		return nil, false
+	}
+	return &segment{
+		srcPort: binary.BigEndian.Uint16(f[1:]),
+		dstPort: binary.BigEndian.Uint16(f[3:]),
+		seq:     binary.BigEndian.Uint32(f[5:]),
+		ack:     binary.BigEndian.Uint32(f[9:]),
+		flags:   f[13],
+		wnd:     binary.BigEndian.Uint16(f[14:]),
+		payload: f[tcpHeaderLen:],
+	}, true
+}
+
+// encodeUDP serializes a datagram into a frame.
+func encodeUDP(d *datagram) []byte {
+	f := make([]byte, udpHeaderLen+len(d.payload))
+	f[0] = protoUDP
+	binary.BigEndian.PutUint16(f[1:], d.srcPort)
+	binary.BigEndian.PutUint16(f[3:], d.dstPort)
+	copy(f[udpHeaderLen:], d.payload)
+	binary.BigEndian.PutUint32(f[5:], crc32.ChecksumIEEE(f))
+	return f
+}
+
+// decodeUDP parses a frame as a UDP datagram, verifying the checksum.
+func decodeUDP(f []byte) (*datagram, bool) {
+	if len(f) < udpHeaderLen || f[0] != protoUDP {
+		return nil, false
+	}
+	sum := binary.BigEndian.Uint32(f[5:])
+	cp := make([]byte, len(f))
+	copy(cp, f)
+	binary.BigEndian.PutUint32(cp[5:], 0)
+	if crc32.ChecksumIEEE(cp) != sum {
+		return nil, false
+	}
+	return &datagram{
+		srcPort: binary.BigEndian.Uint16(f[1:]),
+		dstPort: binary.BigEndian.Uint16(f[3:]),
+		payload: f[udpHeaderLen:],
+	}, true
+}
+
+// seqLT is modular sequence comparison (a < b in sequence space).
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLE is modular a <= b.
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }

@@ -1,0 +1,191 @@
+package kernel
+
+import (
+	"resilientos/internal/sim"
+)
+
+// Ctx is a system process's handle on the kernel: every kernel call and IPC
+// primitive a server or driver may use goes through it, with the process's
+// privileges enforced. A Ctx is only valid on its own process's goroutine.
+type Ctx struct {
+	k *Kernel
+	e *procEntry
+	p *sim.Proc
+}
+
+// Kernel returns the kernel this context belongs to.
+func (c *Ctx) Kernel() *Kernel { return c.k }
+
+// Endpoint returns the process's own (generation-tagged) endpoint.
+func (c *Ctx) Endpoint() Endpoint { return c.e.ep }
+
+// Label returns the process's stable component label.
+func (c *Ctx) Label() string { return c.e.label }
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.k.env.Now() }
+
+// Logf traces a line attributed to this process.
+func (c *Ctx) Logf(format string, args ...any) {
+	c.k.env.Logf(c.e.label, format, args...)
+}
+
+// Sleep suspends the process for d of virtual time.
+func (c *Ctx) Sleep(d sim.Time) { c.p.Sleep(d) }
+
+// Yield lets other same-instant work run.
+func (c *Ctx) Yield() { c.p.Yield() }
+
+// Send performs a blocking rendezvous send.
+func (c *Ctx) Send(dst Endpoint, msg Message) error { return c.k.send(c.e, dst, msg) }
+
+// Receive blocks until a message from the given source (or Any) arrives.
+func (c *Ctx) Receive(from Endpoint) (Message, error) { return c.k.receive(c.e, from) }
+
+// TryReceive returns a pending message from the given source without
+// blocking; ok is false when nothing matching is queued. Servers use it
+// to answer heartbeats while logically blocked on another condition.
+func (c *Ctx) TryReceive(from Endpoint) (Message, bool) {
+	return c.k.tryReceive(c.e, from)
+}
+
+// SendRec sends msg to dst and blocks for dst's reply. If dst dies before
+// replying the call fails with ErrSrcDied (or ErrDeadDst if it died before
+// accepting the request), which is exactly the condition the file server
+// treats as "mark request pending and await the restart" (paper §6.2).
+func (c *Ctx) SendRec(dst Endpoint, msg Message) (Message, error) {
+	if err := c.k.send(c.e, dst, msg); err != nil {
+		return Message{}, err
+	}
+	return c.k.receive(c.e, dst)
+}
+
+// Notify posts a nonblocking notification to dst.
+func (c *Ctx) Notify(dst Endpoint) error { return c.k.notifyFrom(c.e, dst) }
+
+// AsyncSend queues msg at dst without ever blocking the caller (MINIX
+// senda); the reincarnation server uses it for heartbeat requests.
+func (c *Ctx) AsyncSend(dst Endpoint, msg Message) error { return c.k.asyncSend(c.e, dst, msg) }
+
+// Exit terminates the calling process voluntarily with the given status.
+// Status 0 is a clean exit; nonzero is how a driver "panics" (defect class
+// 1 of paper §5.1).
+func (c *Ctx) Exit(status int) {
+	c.e.cause = Cause{Kind: CauseExit, Status: status}
+	c.p.Exit(status)
+}
+
+// Panic terminates the calling process as a driver panic: an exit with a
+// nonzero status after logging the reason.
+func (c *Ctx) Panic(reason string) {
+	c.Logf("panic: %s", reason)
+	c.Exit(2)
+}
+
+// Trap terminates the calling process as if the CPU/MMU raised exc; the
+// kernel converts it into a kill by the corresponding signal (defect class
+// 2 of paper §5.1).
+func (c *Ctx) Trap(exc Exception) {
+	sig := SIGILL
+	if exc == ExcMMU {
+		sig = SIGSEGV
+	}
+	c.e.cause = Cause{Kind: CauseException, Signal: sig, Exc: exc}
+	c.p.Kill() // self-kill unwinds immediately
+}
+
+// SigPending returns and clears the process's queued catchable signals.
+// Message loops call this after a System notification.
+func (c *Ctx) SigPending() []Signal {
+	sigs := c.e.sigPending
+	c.e.sigPending = nil
+	return sigs
+}
+
+// Kill sends sig to the process with endpoint ep (requires CallKill).
+func (c *Ctx) Kill(ep Endpoint, sig Signal) error {
+	if !c.e.priv.allowsCall(CallKill) {
+		return ErrNotAllowed
+	}
+	d := c.k.lookup(ep)
+	if d == nil {
+		return ErrDeadDst
+	}
+	c.k.deliverSignal(d, sig)
+	return nil
+}
+
+// Spawn creates a new system process (requires CallSpawn). Only the process
+// manager / reincarnation server hold this privilege.
+func (c *Ctx) Spawn(label string, priv Privileges, body func(*Ctx)) (Endpoint, error) {
+	if !c.e.priv.allowsCall(CallSpawn) {
+		return None, ErrNotAllowed
+	}
+	nc, err := c.k.Spawn(label, priv, body)
+	if err != nil {
+		return None, err
+	}
+	return nc.e.ep, nil
+}
+
+// CreateGrant exposes buf to the grantee (or Any) with the given access and
+// returns the grant ID to pass along in a request message.
+func (c *Ctx) CreateGrant(buf []byte, access GrantAccess, to Endpoint) GrantID {
+	return c.e.createGrant(buf, access, to)
+}
+
+// RevokeGrant removes a grant from the caller's table.
+func (c *Ctx) RevokeGrant(id GrantID) { delete(c.e.grants, id) }
+
+// SafeCopyFrom copies len(dst) bytes from the granted buffer (owner, id) at
+// offset into dst (requires CallSafeCopy and a read grant).
+func (c *Ctx) SafeCopyFrom(owner Endpoint, id GrantID, offset int, dst []byte) error {
+	return c.k.safeCopyFrom(c.e, owner, id, offset, dst)
+}
+
+// SafeCopyTo copies src into the granted buffer (owner, id) at offset
+// (requires CallSafeCopy and a write grant).
+func (c *Ctx) SafeCopyTo(owner Endpoint, id GrantID, offset int, src []byte) error {
+	return c.k.safeCopyTo(c.e, owner, id, offset, src)
+}
+
+// DevIn reads a device register (requires CallDevIO and port privilege).
+func (c *Ctx) DevIn(port uint32) (uint32, error) { return c.k.devIn(c.e, port) }
+
+// DevOut writes a device register (requires CallDevIO and port privilege).
+func (c *Ctx) DevOut(port uint32, val uint32) error { return c.k.devOut(c.e, port, val) }
+
+// IRQSubscribe attaches the process to an interrupt line; subsequent
+// interrupts arrive as Hardware notifications with the line's bit set.
+func (c *Ctx) IRQSubscribe(line int) error { return c.k.irqSubscribe(c.e, line) }
+
+// IRQMask masks (true) or unmasks (false) the line for this process.
+func (c *Ctx) IRQMask(line int, masked bool) error { return c.k.irqSetMask(c.e, line, masked) }
+
+// SetAlarm arranges a Clock notification after d; any previous alarm is
+// replaced. d <= 0 cancels.
+func (c *Ctx) SetAlarm(d sim.Time) {
+	if c.e.alarm != nil {
+		c.e.alarm.Cancel()
+		c.e.alarm = nil
+	}
+	if d <= 0 {
+		return
+	}
+	e := c.e
+	e.alarm = c.k.env.Schedule(d, func() {
+		e.alarm = nil
+		if e.alive {
+			c.k.notifyEntry(e, Clock)
+		}
+	})
+}
+
+// MayComplain reports whether this process is authorized to file
+// malfunction complaints with the reincarnation server.
+func (c *Ctx) MayComplain() bool { return c.e.priv.MayComplain }
+
+// LookupLabel resolves a stable label to the live instance's endpoint
+// (None when down). System processes normally use the data store for this;
+// the kernel-level lookup backs the data store itself and tests.
+func (c *Ctx) LookupLabel(label string) Endpoint { return c.k.LookupLabel(label) }

@@ -1,0 +1,54 @@
+package kernel
+
+import "fmt"
+
+// Endpoint identifies a process instance for IPC. Endpoints are temporally
+// unique: they combine a process-table slot with a generation number that is
+// bumped each time the slot is reused, so messages addressed to a dead
+// instance of a component fail instead of reaching its successor. This is
+// the mechanism the paper relies on for safe recovery ("our design uses
+// temporarily unique IPC endpoints, so that messages cannot be delivered to
+// the wrong process during a failure").
+type Endpoint int32
+
+// maxSlots bounds the process table; generous for a simulated OS.
+const maxSlots = 4096
+
+// Reserved pseudo-endpoints.
+const (
+	// Any matches any sender in Receive.
+	Any Endpoint = -1
+	// None is the zero of "no endpoint".
+	None Endpoint = -2
+	// Hardware is the pseudo-source of IRQ notifications.
+	Hardware Endpoint = -3
+	// Clock is the pseudo-source of alarm notifications.
+	Clock Endpoint = -4
+	// System is the pseudo-source of signal notifications.
+	System Endpoint = -5
+)
+
+func makeEndpoint(slot, gen int) Endpoint {
+	return Endpoint(gen*maxSlots + slot)
+}
+
+func (e Endpoint) slot() int { return int(e) % maxSlots }
+
+func (e Endpoint) valid() bool { return e >= 0 }
+
+// String renders the endpoint as slot:generation, or the reserved name.
+func (e Endpoint) String() string {
+	switch e {
+	case Any:
+		return "ANY"
+	case None:
+		return "NONE"
+	case Hardware:
+		return "HARDWARE"
+	case Clock:
+		return "CLOCK"
+	case System:
+		return "SYSTEM"
+	}
+	return fmt.Sprintf("%d:%d", e.slot(), int(e)/maxSlots)
+}

@@ -1,0 +1,249 @@
+package kernel
+
+// IPC primitives, modeled on MINIX 3:
+//
+//   - Send: rendezvous; blocks until the destination receives. Fails with
+//     ErrDeadDst for dead/stale endpoints, and is aborted with the same
+//     error if the destination dies while we are queued.
+//   - Receive: blocks for a matching notification, async message, or
+//     sender. Receive from a *specific* source is aborted with ErrSrcDied
+//     when that source dies; receive-from-Any keeps waiting.
+//   - SendRec: Send followed by Receive from the same destination (the
+//     standard request/reply shape for driver protocols).
+//   - Notify: nonblocking notification bit, never fails against a live
+//     target, merged if already pending.
+//   - AsyncSend: nonblocking queued message (MINIX senda), used by the
+//     reincarnation server for heartbeat pings so a stuck driver cannot
+//     block it (paper §5.1).
+//
+// Delivery priority in Receive follows MINIX: notifications (Hardware,
+// Clock, System first) > async messages > queued senders.
+
+// send implements the blocking rendezvous send from e to dst.
+func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
+	if !e.alive {
+		return ErrDying
+	}
+	d := k.lookup(dst)
+	if d == nil {
+		return ErrDeadDst
+	}
+	if !e.priv.allowsIPCTo(d.label) {
+		return ErrNotAllowed
+	}
+	msg.Source = e.ep
+	if d.recvWait && (d.recvFrom == Any || d.recvFrom == e.ep) {
+		d.recvWait = false
+		d.proc.Wake(deliveredMsg{msg: msg})
+		return nil
+	}
+	// Destination not ready: queue and block.
+	e.sendMsg = msg
+	e.sendTo = d
+	d.senders = append(d.senders, e)
+	switch v := e.proc.Park().(type) {
+	case sendOK:
+		return nil
+	case ipcAbort:
+		return v.err
+	default:
+		panic("kernel: unexpected wake value in send")
+	}
+}
+
+// receive implements the blocking receive for e.
+func (k *Kernel) receive(e *procEntry, from Endpoint) (Message, error) {
+	if !e.alive {
+		return Message{}, ErrDying
+	}
+	for {
+		// 1. Pending notifications, pseudo-sources first.
+		if msg, ok := e.takeNotification(from); ok {
+			return msg, nil
+		}
+		// 2. Queued asynchronous messages.
+		for i, m := range e.asyncQ {
+			if from == Any || m.Source == from {
+				e.asyncQ = append(e.asyncQ[:i], e.asyncQ[i+1:]...)
+				return m, nil
+			}
+		}
+		// 3. Blocked senders.
+		for i, s := range e.senders {
+			if from == Any || s.ep == from {
+				e.senders = append(e.senders[:i], e.senders[i+1:]...)
+				msg := s.sendMsg
+				s.sendTo = nil
+				s.sendMsg = Message{}
+				s.proc.Wake(sendOK{})
+				return msg, nil
+			}
+		}
+		// 4. If waiting for a specific process source, make sure it is
+		// alive (pseudo-sources like Hardware/Clock never "die").
+		if from.valid() && k.lookup(from) == nil {
+			return Message{}, ErrSrcDied
+		}
+		// 5. Block.
+		e.recvWait = true
+		e.recvFrom = from
+		switch v := e.proc.Park().(type) {
+		case deliveredMsg:
+			return v.msg, nil
+		case ipcAbort:
+			return Message{}, v.err
+		default:
+			panic("kernel: unexpected wake value in receive")
+		}
+	}
+}
+
+// takeNotification pops the highest-priority pending notification matching
+// from, building its message.
+func (e *procEntry) takeNotification(from Endpoint) (Message, bool) {
+	pick := -1
+	// Pseudo-sources get priority in fixed order.
+	for _, pri := range []Endpoint{Hardware, Clock, System} {
+		if from != Any && from != pri {
+			continue
+		}
+		for i, src := range e.notifyQ {
+			if src == pri {
+				pick = i
+				break
+			}
+		}
+		if pick >= 0 {
+			break
+		}
+	}
+	if pick < 0 {
+		for i, src := range e.notifyQ {
+			if from == Any || src == from {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return Message{}, false
+	}
+	src := e.notifyQ[pick]
+	e.notifyQ = append(e.notifyQ[:pick], e.notifyQ[pick+1:]...)
+	msg := Message{Source: src, Type: MsgNotify}
+	if src == Hardware {
+		msg.Arg1 = int64(e.irqPending)
+		e.irqPending = 0
+	}
+	return msg, true
+}
+
+// tryReceive is the nonblocking receive (MINIX's RECEIVE with the
+// non-blocking flag): it returns a matching pending notification, queued
+// async message, or blocked sender's message if one exists, and reports
+// false otherwise.
+func (k *Kernel) tryReceive(e *procEntry, from Endpoint) (Message, bool) {
+	if !e.alive {
+		return Message{}, false
+	}
+	if msg, ok := e.takeNotification(from); ok {
+		return msg, true
+	}
+	for i, m := range e.asyncQ {
+		if from == Any || m.Source == from {
+			e.asyncQ = append(e.asyncQ[:i], e.asyncQ[i+1:]...)
+			return m, true
+		}
+	}
+	for i, snd := range e.senders {
+		if from == Any || snd.ep == from {
+			e.senders = append(e.senders[:i], e.senders[i+1:]...)
+			msg := snd.sendMsg
+			snd.sendTo = nil
+			snd.sendMsg = Message{}
+			snd.proc.Wake(sendOK{})
+			return msg, true
+		}
+	}
+	return Message{}, false
+}
+
+// notify posts a notification from src to the entry, merging duplicates,
+// and delivers immediately when the target is blocked and matching.
+func (k *Kernel) notifyEntry(d *procEntry, src Endpoint) {
+	if d == nil || !d.alive {
+		return
+	}
+	if d.recvWait && (d.recvFrom == Any || d.recvFrom == src) {
+		d.recvWait = false
+		msg := Message{Source: src, Type: MsgNotify}
+		if src == Hardware {
+			msg.Arg1 = int64(d.irqPending)
+			d.irqPending = 0
+		}
+		d.proc.Wake(deliveredMsg{msg: msg})
+		return
+	}
+	for _, pending := range d.notifyQ {
+		if pending == src {
+			return // merged
+		}
+	}
+	d.notifyQ = append(d.notifyQ, src)
+}
+
+// notifyFrom is the process-level notify call.
+func (k *Kernel) notifyFrom(e *procEntry, dst Endpoint) error {
+	if !e.alive {
+		return ErrDying
+	}
+	d := k.lookup(dst)
+	if d == nil {
+		return ErrDeadDst
+	}
+	if !e.priv.allowsIPCTo(d.label) {
+		return ErrNotAllowed
+	}
+	k.notifyEntry(d, e.ep)
+	return nil
+}
+
+// PostAsync queues msg at dst on behalf of the kernel itself (Source =
+// System). It is usable from scheduler context — device completions and
+// death hooks use it to hand events to system processes.
+func (k *Kernel) PostAsync(dst Endpoint, msg Message) error {
+	d := k.lookup(dst)
+	if d == nil {
+		return ErrDeadDst
+	}
+	msg.Source = System
+	if d.recvWait && (d.recvFrom == Any || d.recvFrom == System) {
+		d.recvWait = false
+		d.proc.Wake(deliveredMsg{msg: msg})
+		return nil
+	}
+	d.asyncQ = append(d.asyncQ, msg)
+	return nil
+}
+
+// asyncSend queues msg at the destination without blocking the sender.
+func (k *Kernel) asyncSend(e *procEntry, dst Endpoint, msg Message) error {
+	if !e.alive {
+		return ErrDying
+	}
+	d := k.lookup(dst)
+	if d == nil {
+		return ErrDeadDst
+	}
+	if !e.priv.allowsIPCTo(d.label) {
+		return ErrNotAllowed
+	}
+	msg.Source = e.ep
+	if d.recvWait && (d.recvFrom == Any || d.recvFrom == e.ep) {
+		d.recvWait = false
+		d.proc.Wake(deliveredMsg{msg: msg})
+		return nil
+	}
+	d.asyncQ = append(d.asyncQ, msg)
+	return nil
+}

@@ -1,0 +1,35 @@
+package kernel
+
+// Message is the fixed-shape IPC unit, modeled on MINIX's small fixed-size
+// messages: a type tag, a few scalar arguments, an optional grant reference
+// for bulk data, and a small inline payload used where real MINIX would use
+// a grant for brevity's sake (e.g. network frames). The kernel fills in
+// Source on delivery.
+type Message struct {
+	Source Endpoint
+	Type   int32
+
+	// Scalar arguments; meaning depends on Type (like MINIX's m1_i1 etc.).
+	Arg1, Arg2, Arg3, Arg4 int64
+
+	// Grant is a memory grant in the *sender's* grant table that the
+	// receiver may access via SafeCopy while handling this request.
+	Grant GrantID
+
+	// Name carries a short string argument (device names, labels).
+	Name string
+
+	// Payload is small inline data. Slices are shared, not copied; by
+	// convention senders do not mutate a payload after sending.
+	Payload []byte
+}
+
+// Message types used by the kernel itself. Servers and drivers define their
+// own protocol types in higher packages; kernel-reserved values are negative
+// to stay out of their way.
+const (
+	// MsgNotify is a notification; Source tells who sent it. For Hardware
+	// notifications Arg1 holds the pending-IRQ bitmask; for System
+	// notifications the pending signals must be fetched with SigPending.
+	MsgNotify int32 = -100
+)

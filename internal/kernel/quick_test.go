@@ -1,0 +1,56 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: endpoint encoding round-trips slot and stays temporally
+// unique across generations.
+func TestEndpointEncodingProperties(t *testing.T) {
+	f := func(slot uint16, gen uint8) bool {
+		s := int(slot) % maxSlots
+		g := int(gen)%500 + 1
+		ep := makeEndpoint(s, g)
+		if !ep.valid() {
+			return false
+		}
+		if ep.slot() != s {
+			return false
+		}
+		// A different generation on the same slot is a different endpoint.
+		return makeEndpoint(s, g+1) != ep
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: privilege checks are pure set membership — cloning a policy
+// never changes any answer, and mutation of the clone never leaks back.
+func TestPrivilegesCloneIsolation(t *testing.T) {
+	f := func(targets []string, ports []uint32, probe uint32, probeTarget string) bool {
+		var pr Privileges
+		for _, p := range ports {
+			pr.Ports = append(pr.Ports, PortRange{Lo: p, Hi: p + 16})
+		}
+		pr.IPCTo = targets
+		cp := pr.Clone()
+		if cp.allowsPort(probe) != pr.allowsPort(probe) {
+			return false
+		}
+		if cp.allowsIPCTo(probeTarget) != pr.allowsIPCTo(probeTarget) {
+			return false
+		}
+		// Mutate the clone; the original must be unaffected.
+		cp.IPCTo = append(cp.IPCTo, probeTarget)
+		cp.Ports = append(cp.Ports, PortRange{Lo: probe, Hi: probe + 1})
+		if !pr.allowsIPCTo(probeTarget) && len(pr.IPCTo) != len(targets) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package mfs
+
+import "container/list"
+
+// blockCache is a small LRU cache of FS blocks (write-through: entries
+// are never dirty, so driver crashes cannot lose buffered writes).
+type blockCache struct {
+	cap   int
+	items map[int64]*list.Element
+	order *list.List // front = most recent
+}
+
+type cacheEntry struct {
+	blockNo int64
+	data    []byte
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		cap:   capacity,
+		items: make(map[int64]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// get returns a copy-safe reference to a cached block.
+func (c *blockCache) get(blockNo int64) ([]byte, bool) {
+	el, ok := c.items[blockNo]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put inserts or refreshes a block, evicting the least recently used.
+func (c *blockCache) put(blockNo int64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if el, ok := c.items[blockNo]; ok {
+		el.Value.(*cacheEntry).data = cp
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{blockNo: blockNo, data: cp})
+	c.items[blockNo] = el
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).blockNo)
+	}
+}
+
+// drop invalidates a block.
+func (c *blockCache) drop(blockNo int64) {
+	if el, ok := c.items[blockNo]; ok {
+		c.order.Remove(el)
+		delete(c.items, blockNo)
+	}
+}
+
+// Len reports the number of cached blocks.
+func (c *blockCache) Len() int { return c.order.Len() }

@@ -1,0 +1,20 @@
+package netlib
+
+import (
+	"errors"
+	"testing"
+
+	"resilientos/internal/proto"
+)
+
+func TestCodeErrMapping(t *testing.T) {
+	if !errors.Is(codeErr(proto.ErrClosed), ErrClosed) {
+		t.Error("ErrClosed not mapped")
+	}
+	if !errors.Is(codeErr(proto.ErrNotFound), ErrRefused) {
+		t.Error("ErrNotFound not mapped to refused")
+	}
+	if err := codeErr(proto.ErrIO); err == nil {
+		t.Error("unknown code mapped to nil")
+	}
+}

@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// arithExpr generates a random arithmetic expression together with its
+// expected value, avoiding division/modulo by zero and shift-range traps
+// by construction.
+func arithExpr(r *rand.Rand, depth int) (string, int64) {
+	if depth == 0 || r.Intn(3) == 0 {
+		n := int64(r.Intn(200) - 100)
+		if n < 0 {
+			return fmt.Sprintf("(%d)", n), n
+		}
+		return fmt.Sprintf("%d", n), n
+	}
+	ls, lv := arithExpr(r, depth-1)
+	rs, rv := arithExpr(r, depth-1)
+	switch r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+	case 3:
+		if rv == 0 {
+			return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+		}
+		return fmt.Sprintf("(%s / %s)", ls, rs), lv / rv
+	case 4:
+		b := func(v bool) int64 {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		return fmt.Sprintf("(%s < %s)", ls, rs), b(lv < rv)
+	default:
+		sh := int64(r.Intn(8))
+		return fmt.Sprintf("(%s << %d)", ls, sh), lv << uint(sh)
+	}
+}
+
+// Property: the shell's $(( )) evaluator agrees with Go's own arithmetic
+// on randomly generated expressions.
+func TestArithAgreesWithGo(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 1500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			s, v := arithExpr(r, 4)
+			args[0] = reflect.ValueOf(s)
+			args[1] = reflect.ValueOf(v)
+		},
+	}
+	f := func(expr string, want int64) bool {
+		in := NewInterp()
+		got, err := in.evalArith(expr)
+		if err != nil {
+			t.Logf("expr %s: %v", expr, err)
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

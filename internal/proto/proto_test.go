@@ -1,0 +1,87 @@
+package proto
+
+import "testing"
+
+// The protocol ranges are the system's wire contract: collisions between
+// subsystem message types would misroute requests.
+func TestMessageTypeUniqueness(t *testing.T) {
+	types := map[int32]string{}
+	add := func(name string, v int32) {
+		if prev, dup := types[v]; dup {
+			t.Errorf("message type collision: %s and %s are both %d", prev, name, v)
+		}
+		types[v] = name
+	}
+	add("PMExitEvent", PMExitEvent)
+	add("PMKill", PMKill)
+	add("PMSubscribe", PMSubscribe)
+	add("PMAck", PMAck)
+	add("DSPublish", DSPublish)
+	add("DSWithdraw", DSWithdraw)
+	add("DSLookup", DSLookup)
+	add("DSSubscribe", DSSubscribe)
+	add("DSUpdate", DSUpdate)
+	add("DSStore", DSStore)
+	add("DSRetrieve", DSRetrieve)
+	add("DSAck", DSAck)
+	add("RSPing", RSPing)
+	add("RSPong", RSPong)
+	add("RSRestart", RSRestart)
+	add("RSStop", RSStop)
+	add("RSUpdate", RSUpdate)
+	add("RSComplain", RSComplain)
+	add("RSReboot", RSReboot)
+	add("RSAck", RSAck)
+	add("EthConf", EthConf)
+	add("EthSend", EthSend)
+	add("EthRecv", EthRecv)
+	add("EthAck", EthAck)
+	add("BdevOpen", BdevOpen)
+	add("BdevRead", BdevRead)
+	add("BdevWrite", BdevWrite)
+	add("BdevReply", BdevReply)
+	add("ChrOpen", ChrOpen)
+	add("ChrWrite", ChrWrite)
+	add("ChrRead", ChrRead)
+	add("ChrIoctl", ChrIoctl)
+	add("ChrReply", ChrReply)
+	add("TCPConnect", TCPConnect)
+	add("TCPListen", TCPListen)
+	add("TCPAccept", TCPAccept)
+	add("TCPSend", TCPSend)
+	add("TCPRecv", TCPRecv)
+	add("TCPClose", TCPClose)
+	add("UDPSend", UDPSend)
+	add("UDPRecv", UDPRecv)
+	add("SockReply", SockReply)
+	add("FSOpen", FSOpen)
+	add("FSRead", FSRead)
+	add("FSWrite", FSWrite)
+	add("FSClose", FSClose)
+	add("FSCreate", FSCreate)
+	add("FSUnlink", FSUnlink)
+	add("FSStat", FSStat)
+	add("FSSync", FSSync)
+	add("FSMkdir", FSMkdir)
+	add("FSReaddir", FSReaddir)
+	add("FSIoctl", FSIoctl)
+	add("FSReply", FSReply)
+	if len(types) < 50 {
+		t.Fatalf("only %d distinct types", len(types))
+	}
+}
+
+func TestErrorCodesNegative(t *testing.T) {
+	for name, v := range map[string]int64{
+		"ErrNotFound": ErrNotFound, "ErrPerm": ErrPerm, "ErrIO": ErrIO,
+		"ErrBadCall": ErrBadCall, "ErrAgain": ErrAgain, "ErrClosed": ErrClosed,
+		"ErrExist": ErrExist, "ErrNoSpace": ErrNoSpace,
+	} {
+		if v >= 0 {
+			t.Errorf("%s = %d, must be negative", name, v)
+		}
+	}
+	if OK != 0 {
+		t.Errorf("OK = %d", OK)
+	}
+}

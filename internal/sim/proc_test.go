@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpawnRunsBody(t *testing.T) {
+	e := NewEnv(1)
+	ran := false
+	e.Spawn("worker", func(p *Proc) { ran = true })
+	e.Run(0)
+	if !ran {
+		t.Fatal("spawned body did not run")
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv(1)
+	var woke Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		woke = e.Now()
+	})
+	e.Run(0)
+	if woke != 3*time.Second {
+		t.Fatalf("woke at %v, want 3s", woke)
+	}
+}
+
+func TestSleepInterleaving(t *testing.T) {
+	e := NewEnv(1)
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		order = append(order, "a")
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(1 * time.Second)
+		order = append(order, "b")
+	})
+	e.Run(0)
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order = %v, want [b a]", order)
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	e := NewEnv(1)
+	var got any
+	p := e.Spawn("waiter", func(p *Proc) {
+		got = p.Park()
+	})
+	e.Spawn("waker", func(q *Proc) {
+		q.Sleep(time.Second)
+		p.Wake("hello")
+	})
+	e.Run(0)
+	if got != "hello" {
+		t.Fatalf("Park returned %v, want hello", got)
+	}
+	if p.State() != StateDead {
+		t.Fatalf("waiter state = %v, want dead", p.State())
+	}
+}
+
+func TestKillParkedProcessRunsDefers(t *testing.T) {
+	e := NewEnv(1)
+	cleaned := false
+	p := e.Spawn("victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Park()
+		t.Error("Park returned after kill")
+	})
+	e.Spawn("killer", func(q *Proc) {
+		q.Sleep(time.Second)
+		p.Kill()
+	})
+	e.Run(0)
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run on kill")
+	}
+	if p.ExitStatus() != -1 {
+		t.Fatalf("ExitStatus = %d, want -1", p.ExitStatus())
+	}
+}
+
+func TestKillSleepingProcess(t *testing.T) {
+	e := NewEnv(1)
+	var after bool
+	p := e.Spawn("victim", func(p *Proc) {
+		p.Sleep(time.Hour)
+		after = true
+	})
+	e.Spawn("killer", func(q *Proc) {
+		q.Sleep(time.Second)
+		p.Kill()
+	})
+	end := e.Run(0)
+	if after {
+		t.Fatal("sleep returned after kill")
+	}
+	if end >= time.Hour {
+		t.Fatalf("run lasted %v; kill should have canceled the sleep timer", end)
+	}
+}
+
+func TestKillBeforeStart(t *testing.T) {
+	e := NewEnv(1)
+	ran := false
+	p := e.Spawn("victim", func(p *Proc) { ran = true })
+	p.Kill() // before the start event fires
+	e.Run(0)
+	if ran {
+		t.Fatal("killed-before-start process ran")
+	}
+	if p.State() != StateDead {
+		t.Fatalf("state = %v, want dead", p.State())
+	}
+}
+
+func TestKillRaceWithWake(t *testing.T) {
+	// Wake the process, then kill it in the same timestamp before the wake
+	// event delivers: the process must unwind, not resume.
+	e := NewEnv(1)
+	resumed := false
+	p := e.Spawn("victim", func(p *Proc) {
+		p.Park()
+		resumed = true
+	})
+	e.Spawn("driver", func(q *Proc) {
+		q.Sleep(time.Second)
+		p.Wake(nil)
+		p.Kill()
+	})
+	e.Run(0)
+	if resumed {
+		t.Fatal("process resumed after same-instant wake+kill")
+	}
+}
+
+func TestExitStatus(t *testing.T) {
+	e := NewEnv(1)
+	p := e.Spawn("exiter", func(p *Proc) {
+		p.Exit(42)
+	})
+	e.Run(0)
+	if p.ExitStatus() != 42 {
+		t.Fatalf("ExitStatus = %d, want 42", p.ExitStatus())
+	}
+}
+
+func TestExitRunsDefers(t *testing.T) {
+	e := NewEnv(1)
+	cleaned := false
+	e.Spawn("exiter", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Exit(0)
+	})
+	e.Run(0)
+	if !cleaned {
+		t.Fatal("defers skipped on Exit")
+	}
+}
+
+func TestSelfKill(t *testing.T) {
+	e := NewEnv(1)
+	var after bool
+	p := e.Spawn("suicider", func(p *Proc) {
+		p.Kill()
+		after = true
+	})
+	e.Run(0)
+	if after {
+		t.Fatal("execution continued after self-kill")
+	}
+	if p.ExitStatus() != -1 {
+		t.Fatalf("ExitStatus = %d, want -1", p.ExitStatus())
+	}
+}
+
+func TestOnExitHooks(t *testing.T) {
+	e := NewEnv(1)
+	var statuses []int
+	p := e.Spawn("child", func(p *Proc) { p.Exit(7) })
+	p.OnExit(func(s int) { statuses = append(statuses, s) })
+	p.OnExit(func(s int) { statuses = append(statuses, s*10) })
+	e.Run(0)
+	if len(statuses) != 2 || statuses[0] != 7 || statuses[1] != 70 {
+		t.Fatalf("hook statuses = %v, want [7 70]", statuses)
+	}
+}
+
+func TestOnExitHookForKilled(t *testing.T) {
+	e := NewEnv(1)
+	status := 99
+	p := e.Spawn("victim", func(p *Proc) { p.Park() })
+	p.OnExit(func(s int) { status = s })
+	e.Spawn("killer", func(q *Proc) { p.Kill() })
+	e.Run(0)
+	if status != -1 {
+		t.Fatalf("hook status = %d, want -1", status)
+	}
+}
+
+func TestYieldAllowsInterleaving(t *testing.T) {
+	e := NewEnv(1)
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run(0)
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	e := NewEnv(1)
+	a := e.Spawn("a", func(p *Proc) {})
+	b := e.Spawn("b", func(p *Proc) {})
+	if a.PID() == b.PID() {
+		t.Fatal("PIDs not unique")
+	}
+	if a.Name() != "a" || b.Name() != "b" {
+		t.Fatalf("names = %q, %q", a.Name(), b.Name())
+	}
+}
+
+func TestDoubleKillIsNoop(t *testing.T) {
+	e := NewEnv(1)
+	p := e.Spawn("victim", func(p *Proc) { p.Park() })
+	e.Spawn("killer", func(q *Proc) {
+		p.Kill()
+		p.Kill()
+	})
+	e.Run(0)
+	if p.State() != StateDead {
+		t.Fatalf("state = %v, want dead", p.State())
+	}
+}
+
+func TestManyProcessesDeterministic(t *testing.T) {
+	run := func() []int {
+		e := NewEnv(7)
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			e.Spawn("p", func(p *Proc) {
+				d := time.Duration(e.Rand().Intn(1000)) * time.Millisecond
+				p.Sleep(d)
+				order = append(order, i)
+			})
+		}
+		e.Run(0)
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths = %d, %d, want 50", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("two identical runs diverged")
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEnv(1)
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		e.Spawn("child", func(c *Proc) { childRan = true })
+		p.Sleep(time.Second)
+	})
+	e.Run(0)
+	if !childRan {
+		t.Fatal("child spawned from process did not run")
+	}
+}

@@ -1,0 +1,221 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine provides a virtual clock, an event heap, and cooperative
+// process coroutines: at most one simulated process runs at any moment, and
+// control transfers between the scheduler and processes are explicit
+// (Park/Wake/Sleep). All randomness flows through a seeded generator, so a
+// run is reproducible bit-for-bit given the same seed and inputs.
+//
+// Everything above this package (kernel, servers, drivers, workloads) runs
+// in virtual time; wall-clock speed of the host is irrelevant to simulated
+// results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from boot.
+type Time = time.Duration
+
+// event is a scheduled callback. Events with equal time fire in schedule
+// order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: one virtual clock, one event queue, and
+// the set of processes living on it. An Env is not safe for concurrent use;
+// the entire simulation is single-threaded by design.
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	yield   chan struct{} // processes signal the scheduler here
+	procs   map[int]*Proc
+	nextPID int
+	stopped bool
+	fatal   *procPanic // unexpected panic captured from a process
+
+	logw    io.Writer
+	logTags map[string]bool // nil means log everything when logw != nil
+}
+
+// NewEnv returns a fresh environment whose randomness is derived from seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		procs: make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// SetLogOutput directs simulation trace output to w (nil disables tracing).
+func (e *Env) SetLogOutput(w io.Writer) { e.logw = w }
+
+// SetLogTags restricts tracing to the given tags. An empty call restores
+// all-tags logging.
+func (e *Env) SetLogTags(tags ...string) {
+	if len(tags) == 0 {
+		e.logTags = nil
+		return
+	}
+	e.logTags = make(map[string]bool, len(tags))
+	for _, t := range tags {
+		e.logTags[t] = true
+	}
+}
+
+// Logf emits one trace line stamped with the virtual clock. Tracing is off
+// unless SetLogOutput was called.
+func (e *Env) Logf(tag, format string, args ...any) {
+	if e.logw == nil {
+		return
+	}
+	if e.logTags != nil && !e.logTags[tag] {
+		return
+	}
+	fmt.Fprintf(e.logw, "[%12s] %-8s %s\n", e.now, tag, fmt.Sprintf(format, args...))
+}
+
+// Schedule arranges for fn to run on the scheduler at now+d. The callback
+// runs in scheduler context and must not call blocking process primitives
+// (Sleep, Park, ...). It returns a handle that can cancel the event.
+func (e *Env) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Event{env: e, ev: ev}
+}
+
+// Event is a cancelable handle to a scheduled callback.
+type Event struct {
+	env *Env
+	ev  *event
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the event was
+// actually stopped before firing.
+func (ev *Event) Cancel() bool {
+	if ev == nil || ev.ev == nil || ev.ev.canceled {
+		return false
+	}
+	if ev.ev.index < 0 {
+		return false // already popped (fired or firing)
+	}
+	ev.ev.canceled = true
+	return true
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Env) Stopped() bool { return e.stopped }
+
+// Run executes events until the queue drains, Stop is called, or the
+// optional horizon passes (horizon <= 0 means no horizon). It returns the
+// virtual time at which the run ended.
+func (e *Env) Run(horizon Time) Time {
+	limit := Time(-1)
+	if horizon > 0 {
+		limit = e.now + horizon
+	}
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if limit >= 0 && ev.at > limit {
+			// Put it back; the horizon was reached.
+			heap.Push(&e.events, ev)
+			e.now = limit
+			return e.now
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+		if e.fatal != nil {
+			p := e.fatal
+			e.fatal = nil
+			panic(fmt.Sprintf("sim: process %q crashed: %v\n%s", p.proc, p.value, p.stack))
+		}
+	}
+	if limit >= 0 && e.now < limit && !e.stopped {
+		e.now = limit
+	}
+	return e.now
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Env) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// procPanic records a non-sentinel panic escaping a process body so it can
+// be re-raised on the scheduler goroutine with context.
+type procPanic struct {
+	proc  string
+	value any
+	stack string
+}

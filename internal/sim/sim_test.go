@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEnv(1)
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	end := e.Run(0)
+	if end != 3*time.Second {
+		t.Fatalf("end time = %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleTieBreakBySeq(t *testing.T) {
+	e := NewEnv(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestScheduleNegativeDelayClamped(t *testing.T) {
+	e := NewEnv(1)
+	fired := false
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() { fired = true })
+	})
+	e.Run(0)
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock went backwards: %v", e.Now())
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEnv(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run(0)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelFiredEvent(t *testing.T) {
+	e := NewEnv(1)
+	ev := e.Schedule(0, func() {})
+	e.Run(0)
+	if ev.Cancel() {
+		t.Fatal("Cancel after firing returned true")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEnv(1)
+	fired := false
+	e.Schedule(10*time.Second, func() { fired = true })
+	end := e.Run(5 * time.Second)
+	if end != 5*time.Second {
+		t.Fatalf("end = %v, want 5s", end)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	// Continuing the run past the horizon fires it.
+	end = e.Run(10 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire on resumed run")
+	}
+	if end != 15*time.Second {
+		t.Fatalf("end = %v, want 15s (5s + 10s horizon)", end)
+	}
+}
+
+func TestRunHorizonAdvancesIdleClock(t *testing.T) {
+	e := NewEnv(1)
+	end := e.Run(7 * time.Second)
+	if end != 7*time.Second {
+		t.Fatalf("idle run end = %v, want 7s", end)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEnv(1)
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (stopped mid-run)", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := NewEnv(1)
+	ev1 := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	ev1.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEnv(42).Rand()
+	b := NewEnv(42).Rand()
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s := New(Config{FSLabel: "mfs"})
+	if s.nextFd != 3 {
+		t.Fatalf("nextFd = %d, want 3 (0-2 reserved by convention)", s.nextFd)
+	}
+	if s.files == nil {
+		t.Fatal("file table not initialized")
+	}
+	if s.Binary() == nil {
+		t.Fatal("Binary returned nil")
+	}
+}
+
+func TestDevPrefixRouting(t *testing.T) {
+	// The routing rule: /dev/<label> goes to a character driver,
+	// everything else to the file server.
+	cases := map[string]bool{
+		"/dev/chr.printer": true,
+		"/dev/chr.audio":   true,
+		"/dev/":            false, // no label
+		"/devx":            false,
+		"/home/notes":      false,
+		"dev/chr.audio":    false, // not absolute
+	}
+	for path, wantDev := range cases {
+		isDev := len(path) > len(DevPrefix) && strings.HasPrefix(path, DevPrefix)
+		if isDev != wantDev {
+			t.Errorf("%q: dev=%v, want %v", path, isDev, wantDev)
+		}
+	}
+}
+
+func TestStatsZeroValue(t *testing.T) {
+	s := New(Config{})
+	st := s.Stats()
+	if st.FileOps != 0 || st.DevOps != 0 || st.DevErrors != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+}

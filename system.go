@@ -1,0 +1,422 @@
+// Package resilientos is a deterministic, full-system simulation of the
+// failure-resilient operating system of Herder et al., "Failure Resilience
+// for Device Drivers" (DSN 2007): a MINIX 3-like microkernel OS whose
+// drivers and servers run as isolated processes guarded by a reincarnation
+// server, with policy-driven recovery, a publish/subscribe data store for
+// post-restart reintegration, and transparent recovery of network and
+// block device drivers.
+//
+// A System boots the whole stack — microkernel, process manager, data
+// store, reincarnation server, network server(s), file servers, device
+// drivers, and simulated hardware — in virtual time. Applications are
+// spawned as simulated processes and use the socket/file libraries;
+// drivers can be killed, fault-injected, or dynamically updated while I/O
+// is in progress, and the recovery machinery masks the failures exactly
+// as the paper describes.
+//
+//	sys := resilientos.New(resilientos.Config{})
+//	sys.Spawn("app", func(p *resilientos.Proc) {
+//		conn, _ := p.Dial(resilientos.NetLocal, resilientos.DriverRTL8139, 80)
+//		...
+//	})
+//	sys.Every(2*time.Second, func() { sys.KillDriver(resilientos.DriverRTL8139) })
+//	sys.Run(time.Minute)
+package resilientos
+
+import (
+	"io"
+	"time"
+
+	"resilientos/internal/core"
+	"resilientos/internal/drivers/chardrv"
+	"resilientos/internal/drivers/dp8390"
+	"resilientos/internal/drivers/ramdisk"
+	"resilientos/internal/drivers/rtl8139"
+	"resilientos/internal/drivers/sata"
+	"resilientos/internal/hw"
+	"resilientos/internal/inet"
+	"resilientos/internal/kernel"
+	"resilientos/internal/mfs"
+	"resilientos/internal/policy"
+	"resilientos/internal/proc"
+	"resilientos/internal/ucode"
+	"resilientos/internal/vfs"
+
+	"resilientos/internal/ds"
+	"resilientos/internal/sim"
+)
+
+// Stable driver and server labels of the standard system.
+const (
+	DriverRTL8139 = "eth.rtl8139" // network driver on NIC0 (Fig. 7 target)
+	DriverDP8390  = "eth.dp8390"  // network driver on NIC1 (§7.2 target)
+	DriverSATA    = "disk.sata"   // block driver (Fig. 8 target)
+	DriverRAMDisk = "disk.ram"    // trusted RAM disk
+	DriverAudio   = "chr.audio"
+	DriverPrinter = "chr.printer"
+	DriverBurner  = "chr.burner"
+
+	ServerInet       = "inet"  // local network server
+	ServerRemoteInet = "rinet" // the remote peer's network server
+	ServerMFS        = "mfs"   // file server
+	ServerVFS        = "vfs"   // virtual file system
+
+	remoteDriver0 = "reth.0" // remote peer's driver on NIC0's wire
+	remoteDriver1 = "reth.1" // remote peer's driver on NIC1's wire
+)
+
+// NetSide selects which network server an application talks to.
+type NetSide int
+
+// Network sides.
+const (
+	NetLocal  NetSide = iota + 1 // the simulated OS under test
+	NetRemote                    // the remote peer ("the Internet")
+)
+
+// Config configures a System. The zero value boots the standard machine.
+type Config struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Trace, if set, receives the virtual-time event log.
+	Trace io.Writer
+	// Machine tunes the simulated hardware.
+	Machine hw.MachineConfig
+
+	// HeartbeatPeriod for driver liveness pings (default 500ms; 0 keeps
+	// the default, negative disables heartbeats).
+	HeartbeatPeriod time.Duration
+	// HeartbeatMisses is N consecutive misses before a driver is declared
+	// stuck (default 3).
+	HeartbeatMisses int
+
+	// NetPolicy optionally attaches a recovery policy script (and its
+	// parameters) to the network drivers. Disk drivers never get one
+	// (§6.2: they are restarted directly from RAM).
+	NetPolicy       *policy.Script
+	NetPolicyParams []string
+
+	// MaxRestarts bounds consecutive recoveries per driver (0 = forever).
+	MaxRestarts int
+
+	// PreallocFiles are materialized by mkfs with pseudo-random content
+	// already "on disk" — e.g. the Fig. 8 experiment's 1-GB random file.
+	PreallocFiles []PreallocFile
+
+	// DisableNet / DisableDisk / DisableChar skip subsystems to speed up
+	// focused experiments.
+	DisableNet  bool
+	DisableDisk bool
+	DisableChar bool
+
+	// RTOInit overrides TCP's initial retransmission timeout.
+	RTOInit time.Duration
+
+	// MFSPollInterval switches the file server's driver reintegration
+	// from data-store publish/subscribe to periodic polling (ablation
+	// benchmarks only; 0 = the paper's pub-sub design).
+	MFSPollInterval time.Duration
+}
+
+// System is a booted instance of the failure-resilient OS plus its
+// hardware and remote peer.
+type System struct {
+	Env     *sim.Env
+	Kernel  *kernel.Kernel
+	Machine *hw.Machine
+	RS      *core.RS
+
+	PMEp kernel.Endpoint
+	DSEp kernel.Endpoint
+
+	LocalInet  *inet.Server
+	RemoteInet *inet.Server
+	MFS        *mfs.Server
+	VFS        *vfs.Server
+	RAMStore   *ramdisk.Store
+
+	cfg Config
+	vms map[string]*ucode.VM // live driver VMs, by label
+}
+
+// New boots a system. It panics only on configuration bugs (boot is a
+// build-time invariant of the standard machine).
+func New(cfg Config) *System {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.HeartbeatPeriod == 0 {
+		cfg.HeartbeatPeriod = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatMisses == 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	env := sim.NewEnv(cfg.Seed)
+	if cfg.Trace != nil {
+		env.SetLogOutput(cfg.Trace)
+	}
+	k := kernel.New(env)
+	machine := hw.NewMachine(env, k, cfg.Machine)
+	sys := &System{
+		Env:     env,
+		Kernel:  k,
+		Machine: machine,
+		cfg:     cfg,
+		vms:     make(map[string]*ucode.VM),
+	}
+
+	var err error
+	sys.PMEp, err = proc.Start(k)
+	if err != nil {
+		panic(err)
+	}
+	sys.DSEp, err = ds.Start(k)
+	if err != nil {
+		panic(err)
+	}
+	sys.RS, err = core.Start(k, sys.PMEp, sys.DSEp, core.WithOnReboot(func() { env.Stop() }))
+	if err != nil {
+		panic(err)
+	}
+
+	if !cfg.DisableNet {
+		sys.bootNet()
+	}
+	if !cfg.DisableDisk {
+		sys.bootDisk()
+	}
+	if !cfg.DisableChar {
+		sys.bootChar()
+	}
+	if !cfg.DisableDisk || !cfg.DisableChar {
+		// VFS serves both file paths (via MFS) and /dev device nodes, so
+		// it boots whenever either subsystem is present.
+		sys.VFS = vfs.New(vfs.Config{DS: sys.DSEp, FSLabel: ServerMFS})
+		sys.RS.StartService(core.ServiceConfig{
+			Label:           ServerVFS,
+			Binary:          sys.VFS.Binary(),
+			Priv:            sys.serverPriv(false),
+			HeartbeatPeriod: sys.hb(),
+			HeartbeatMisses: sys.cfg.HeartbeatMisses,
+		})
+	}
+	return sys
+}
+
+// hb returns the effective heartbeat period (0 disables).
+func (sys *System) hb() sim.Time {
+	if sys.cfg.HeartbeatPeriod < 0 {
+		return 0
+	}
+	return sys.cfg.HeartbeatPeriod
+}
+
+// trackVM records the live VM of a ucode driver instance.
+func (sys *System) trackVM(label string) func(*ucode.VM) {
+	return func(vm *ucode.VM) { sys.vms[label] = vm }
+}
+
+// DriverVM returns the currently running instance's ucode VM for a
+// driver label — the handle the fault-injection campaign mutates.
+func (sys *System) DriverVM(label string) *ucode.VM { return sys.vms[label] }
+
+func (sys *System) driverPriv(ports kernel.PortRange, irq int) kernel.Privileges {
+	return kernel.Privileges{
+		IPCTo: []string{core.Label, ds.Label, proc.Label, ServerInet,
+			ServerRemoteInet, ServerMFS, ServerVFS},
+		Calls: []kernel.Call{kernel.CallDevIO, kernel.CallIRQCtl,
+			kernel.CallAlarm, kernel.CallSafeCopy},
+		Ports: []kernel.PortRange{ports},
+		IRQs:  []int{irq},
+		UID:   100,
+	}
+}
+
+func (sys *System) serverPriv(mayComplain bool) kernel.Privileges {
+	return kernel.Privileges{
+		AllowAllIPC: true,
+		Calls:       []kernel.Call{kernel.CallAlarm, kernel.CallSafeCopy},
+		MayComplain: mayComplain,
+		UID:         10,
+	}
+}
+
+func (sys *System) bootNet() {
+	cfg := sys.cfg
+	m := sys.Machine
+	// Local drivers.
+	sys.RS.StartService(core.ServiceConfig{
+		Label:           DriverRTL8139,
+		Binary:          rtl8139.Binary(rtl8139.Config{NIC: m.NIC0, OnVM: sys.trackVM(DriverRTL8139)}),
+		Priv:            sys.driverPriv(m.NIC0.PortRange(), m.NIC0.IRQ()),
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: cfg.HeartbeatMisses,
+		Policy:          cfg.NetPolicy,
+		PolicyParams:    cfg.NetPolicyParams,
+		MaxRestarts:     cfg.MaxRestarts,
+	})
+	sys.RS.StartService(core.ServiceConfig{
+		Label:           DriverDP8390,
+		Binary:          dp8390.Binary(dp8390.Config{NIC: m.NIC1, OnVM: sys.trackVM(DriverDP8390)}),
+		Priv:            sys.driverPriv(m.NIC1.PortRange(), m.NIC1.IRQ()),
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: cfg.HeartbeatMisses,
+		Policy:          cfg.NetPolicy,
+		PolicyParams:    cfg.NetPolicyParams,
+		MaxRestarts:     cfg.MaxRestarts,
+	})
+	// Remote peer drivers: ideal, never killed by the experiments.
+	sys.RS.StartService(core.ServiceConfig{
+		Label:  remoteDriver0,
+		Binary: rtl8139.Binary(rtl8139.Config{NIC: m.Remote}),
+		Priv:   sys.driverPriv(m.Remote.PortRange(), m.Remote.IRQ()),
+	})
+	sys.RS.StartService(core.ServiceConfig{
+		Label:  remoteDriver1,
+		Binary: rtl8139.Binary(rtl8139.Config{NIC: m.Remote1}),
+		Priv:   sys.driverPriv(m.Remote1.PortRange(), m.Remote1.IRQ()),
+	})
+	// Network servers.
+	sys.LocalInet = inet.New(inet.Config{
+		Pattern: "eth.*",
+		DS:      sys.DSEp,
+		RTOInit: sys.cfg.RTOInit,
+	})
+	sys.RS.StartService(core.ServiceConfig{
+		Label:           ServerInet,
+		Binary:          sys.LocalInet.Binary(),
+		Priv:            sys.serverPriv(true),
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: cfg.HeartbeatMisses,
+	})
+	sys.RemoteInet = inet.New(inet.Config{
+		Pattern: "reth.*",
+		DS:      sys.DSEp,
+		RTOInit: sys.cfg.RTOInit,
+	})
+	sys.RS.StartService(core.ServiceConfig{
+		Label:  ServerRemoteInet,
+		Binary: sys.RemoteInet.Binary(),
+		Priv:   sys.serverPriv(false),
+	})
+}
+
+// PreallocFile names a file mkfs creates over the disk's existing
+// pseudo-random content, without writing data blocks.
+type PreallocFile struct {
+	Name string
+	Size int64
+}
+
+func (sys *System) bootDisk() {
+	m := sys.Machine
+	var prealloc []mfs.PreallocFile
+	for _, pf := range sys.cfg.PreallocFiles {
+		prealloc = append(prealloc, mfs.PreallocFile{Name: pf.Name, Size: pf.Size})
+	}
+	if _, err := mfs.Mkfs(m.Disk, mfs.MkfsConfig{Ateach: prealloc}); err != nil {
+		panic(err)
+	}
+	sys.RS.StartService(core.ServiceConfig{
+		Label:           DriverSATA,
+		Binary:          sata.Binary(sata.Config{Disk: m.Disk, OnVM: sys.trackVM(DriverSATA)}),
+		Priv:            sys.driverPriv(m.Disk.PortRange(), m.Disk.IRQ()),
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: sys.cfg.HeartbeatMisses,
+		// §6.2: no policy script for disk drivers — direct RAM restart.
+		MaxRestarts: sys.cfg.MaxRestarts,
+	})
+	sys.RAMStore = ramdisk.NewStore()
+	sys.RS.StartService(core.ServiceConfig{
+		Label:  DriverRAMDisk,
+		Binary: ramdisk.Binary(ramdisk.Config{Backing: sys.RAMStore}),
+		Priv: kernel.Privileges{
+			IPCTo: []string{core.Label, ds.Label, ServerMFS, ServerVFS},
+			Calls: []kernel.Call{kernel.CallSafeCopy},
+			UID:   100,
+		},
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: sys.cfg.HeartbeatMisses,
+	})
+	// File server stack.
+	sys.MFS = mfs.New(mfs.Config{
+		DS:           sys.DSEp,
+		DriverLabel:  DriverSATA,
+		Disk:         mfs.Geometry{Sectors: sys.Machine.Disk.Sectors()},
+		PollInterval: sys.cfg.MFSPollInterval,
+	})
+	sys.RS.StartService(core.ServiceConfig{
+		Label:           ServerMFS,
+		Binary:          sys.MFS.Binary(),
+		Priv:            sys.serverPriv(true),
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: sys.cfg.HeartbeatMisses,
+	})
+}
+
+func (sys *System) bootChar() {
+	m := sys.Machine
+	sys.RS.StartService(core.ServiceConfig{
+		Label:           DriverAudio,
+		Binary:          chardrv.AudioBinary(m.Audio),
+		Priv:            sys.driverPriv(m.Audio.PortRange(), m.Audio.IRQ()),
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: sys.cfg.HeartbeatMisses,
+	})
+	sys.RS.StartService(core.ServiceConfig{
+		Label:           DriverPrinter,
+		Binary:          chardrv.PrinterBinary(m.Printer),
+		Priv:            sys.driverPriv(m.Printer.PortRange(), m.Printer.IRQ()),
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: sys.cfg.HeartbeatMisses,
+	})
+	sys.RS.StartService(core.ServiceConfig{
+		Label:           DriverBurner,
+		Binary:          chardrv.BurnerBinary(m.Burner),
+		Priv:            sys.driverPriv(m.Burner.PortRange(), m.Burner.IRQ()),
+		HeartbeatPeriod: sys.hb(),
+		HeartbeatMisses: sys.cfg.HeartbeatMisses,
+	})
+}
+
+// Run advances the simulation by d of virtual time (0 = until the event
+// queue drains). It returns the virtual time reached.
+func (sys *System) Run(d time.Duration) time.Duration {
+	return sys.Env.Run(d)
+}
+
+// Every schedules fn to run every interval of virtual time until the
+// simulation ends (the crash-simulation loop of §7.1 uses this).
+func (sys *System) Every(interval time.Duration, fn func()) {
+	var tick func()
+	tick = func() {
+		fn()
+		sys.Env.Schedule(interval, tick)
+	}
+	sys.Env.Schedule(interval, tick)
+}
+
+// After schedules fn once after d of virtual time.
+func (sys *System) After(d time.Duration, fn func()) {
+	sys.Env.Schedule(d, fn)
+}
+
+// KillDriver sends SIGKILL to a driver — the §7.1 crash simulation
+// ("repeatedly looks up the driver's process ID and kills the driver").
+func (sys *System) KillDriver(label string) {
+	sys.RS.KillService(label, kernel.SIGKILL)
+}
+
+// UpdateDriver performs a dynamic update of a running service.
+func (sys *System) UpdateDriver(cfg core.ServiceConfig) {
+	sys.RS.UpdateService(cfg)
+}
+
+// InetEndpoint resolves the current endpoint of a network server side.
+func (sys *System) InetEndpoint(side NetSide) kernel.Endpoint {
+	label := ServerInet
+	if side == NetRemote {
+		label = ServerRemoteInet
+	}
+	return sys.Kernel.LookupLabel(label)
+}
