@@ -3,12 +3,18 @@
 // function of the interval at which the driver is killed with SIGKILL
 // while the transfer runs.
 //
+// Each point also reports the recovery-latency distribution (p50/p95/p99
+// of defect-to-reintegration, in virtual time) measured through the
+// observability subsystem.
+//
 //	throughput -exp fig7              # 512 MB wget, kill intervals 1-15s
 //	throughput -exp fig8              # 1 GB dd | sha1sum
 //	throughput -exp fig7 -size 64     # quick run with a 64 MB transfer
+//	throughput -exp fig7 -size 16 -trace fig7.jsonl   # capture a full trace
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"resilientos"
+	"resilientos/internal/obs"
 )
 
 func main() {
@@ -32,8 +39,30 @@ func run(args []string) error {
 	sizeMB := fs.Int64("size", 0, "transfer size in MB (default: paper's 512 for fig7, 1024 for fig8)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	intervals := fs.String("intervals", "", "comma-separated kill intervals in seconds (default 1,2,4,6,8,10,12,15)")
+	trace := fs.String("trace", "", "write the full JSONL event trace to this file (use a small -size; summarize with tracestat)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var sink obs.Sink
+	var traceDone func() error
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		js := obs.NewJSONLSink(bw)
+		sink = js
+		traceDone = func() error {
+			if err := js.Err(); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
 	}
 
 	ivs := resilientos.Fig7Intervals
@@ -57,7 +86,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("Fig. 7: wget %d MB over TCP, killing the RTL8139-class driver\n", size)
 		fmt.Printf("(paper: 10.8 MB/s uninterrupted; 8.1 MB/s at 1s kills; 10.7 MB/s at 15s)\n\n")
-		points = resilientos.Fig7NetworkRecovery(size<<20, ivs, *seed)
+		points = resilientos.Fig7NetworkRecoveryTrace(size<<20, ivs, *seed, sink)
 	case "fig8":
 		size := *sizeMB
 		if size == 0 {
@@ -65,7 +94,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("Fig. 8: dd %d MB | sha1sum, killing the SATA-class driver\n", size)
 		fmt.Printf("(paper: 32.7 MB/s uninterrupted; 12.3 MB/s at 1s kills; 30.5 MB/s at 15s)\n\n")
-		points = resilientos.Fig8DiskRecovery(size<<20, ivs, *seed)
+		points = resilientos.Fig8DiskRecoveryTrace(size<<20, ivs, *seed, sink)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -83,5 +112,38 @@ func run(args []string) error {
 		fmt.Printf("%10.0f  %15.2f  %12.0f%%\n",
 			p.KillInterval.Seconds(), p.MBps, 100*(1-p.MBps/base))
 	}
+	printLatencyTable(points)
+	if traceDone != nil {
+		if err := traceDone(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace written to %s\n", *trace)
+	}
 	return nil
+}
+
+// printLatencyTable renders the recovery-latency distribution per point.
+func printLatencyTable(points []resilientos.ThroughputPoint) {
+	any := false
+	for _, p := range points {
+		if p.Recovery.Count > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	fmt.Println()
+	fmt.Println("recovery latency (defect -> reintegration, virtual time)")
+	fmt.Println("interval_s  count  mean_ms   p50_ms   p95_ms   p99_ms   max_ms")
+	for _, p := range points {
+		r := p.Recovery
+		if r.Count == 0 {
+			continue
+		}
+		fmt.Printf("%10.0f  %5d  %7.1f  %7.1f  %7.1f  %7.1f  %7.1f\n",
+			p.KillInterval.Seconds(), r.Count, ms(r.Mean), ms(r.P50), ms(r.P95), ms(r.P99), ms(r.Max))
+	}
 }

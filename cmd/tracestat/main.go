@@ -1,0 +1,118 @@
+// Command tracestat summarizes a JSONL trace captured from the
+// observability subsystem (e.g. throughput -trace fig7.jsonl): total and
+// per-component event counts, the event-kind breakdown, and the
+// per-component recovery-latency distribution stitched from the trace's
+// defect → policy → restart → reintegration spans.
+//
+//	tracestat fig7.jsonl
+//	tracestat -spans fig7.jsonl       # also dump every recovery span
+//	tracestat -comp eth.rtl8139 trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"resilientos/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	comp := fs.String("comp", "", "restrict the latency table to one component label")
+	spans := fs.Bool("spans", false, "dump every recovery span")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracestat [-comp label] [-spans] <trace.jsonl>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ParseJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+
+	counts := obs.NewCountSink()
+	for _, e := range events {
+		counts.Emit(e)
+	}
+	fmt.Printf("%d events, %v .. %v virtual time\n\n",
+		counts.Total, events[0].T, events[len(events)-1].T)
+
+	fmt.Println("events by kind")
+	for _, k := range obs.Kinds() {
+		if n := counts.ByKind[k]; n > 0 {
+			fmt.Printf("  %-16s %8d\n", k, n)
+		}
+	}
+	fmt.Println()
+	fmt.Println("events by component")
+	comps := make([]string, 0, len(counts.ByComp))
+	for c := range counts.ByComp {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		fmt.Printf("  %-16s %8d\n", c, counts.ByComp[c])
+	}
+
+	all := obs.Timeline(events)
+	if *spans {
+		fmt.Println()
+		fmt.Println("recovery spans")
+		for _, s := range all {
+			fmt.Printf("  %v\n", s)
+		}
+	}
+
+	// Per-component latency table over completed recoveries.
+	byComp := make(map[string][]obs.Span)
+	for _, s := range all {
+		if *comp != "" && s.Comp != *comp {
+			continue
+		}
+		byComp[s.Comp] = append(byComp[s.Comp], s)
+	}
+	names := make([]string, 0, len(byComp))
+	for c := range byComp {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Println()
+	fmt.Println("recovery latency (defect -> reintegration, virtual time)")
+	fmt.Println("component         count  mean_ms   p50_ms   p95_ms   p99_ms   max_ms")
+	printed := false
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, c := range names {
+		lat := obs.RecoveryLatencies(byComp[c], "")
+		sum := obs.Summarize(lat)
+		if sum.Count == 0 {
+			continue
+		}
+		printed = true
+		fmt.Printf("%-16s  %5d  %7.1f  %7.1f  %7.1f  %7.1f  %7.1f\n",
+			c, sum.Count, ms(sum.Mean), ms(sum.P50), ms(sum.P95), ms(sum.P99), ms(sum.Max))
+	}
+	if !printed {
+		fmt.Println("(no completed recoveries in trace)")
+	}
+	return nil
+}

@@ -24,9 +24,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"resilientos/internal/kernel"
+	"resilientos/internal/obs"
 	"resilientos/internal/policy"
 	"resilientos/internal/proto"
 	"resilientos/internal/sim"
@@ -362,6 +364,7 @@ func (rs *RS) spawnInstance(c *kernel.Ctx, svc *service) {
 	if svc.cfg.HeartbeatPeriod > 0 {
 		svc.nextPing = c.Now() + svc.cfg.HeartbeatPeriod
 	}
+	c.Obs().Emit(obs.KindRestart, svc.cfg.Label, svc.cfg.Version, int64(ep), int64(svc.failures))
 	// Publish the new endpoint; dependent components subscribed through
 	// the data store learn about the restart from this (paper §5.3).
 	_, err = c.SendRec(rs.dsEp, kernel.Message{
@@ -423,6 +426,7 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 	}
 	svc.lastFailure = c.Now()
 	c.Logf("defect %v in %s (repetition %d)", class, svc.cfg.Label, svc.failures)
+	c.Obs().Emit(obs.KindDefect, svc.cfg.Label, class.String(), int64(svc.failures), int64(class))
 
 	if svc.cfg.MaxRestarts > 0 && svc.failures > svc.cfg.MaxRestarts {
 		svc.gaveUp = true
@@ -430,6 +434,7 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 			Time: c.Now(), Label: svc.cfg.Label, Defect: class,
 			Repetition: svc.failures, GaveUp: true,
 		})
+		c.Obs().Emit(obs.KindGiveUp, svc.cfg.Label, class.String(), int64(svc.failures), 0)
 		// Withdraw the name so dependents see the component as gone.
 		_, _ = c.SendRec(rs.dsEp, kernel.Message{Type: proto.DSWithdraw, Name: svc.cfg.Label})
 		return
@@ -459,6 +464,7 @@ func (rs *RS) completeRecovery(c *kernel.Ctx, svc *service, class Defect) {
 		Duration:   c.Now() - svc.detectedAt,
 		NewEp:      svc.ep,
 	})
+	c.Obs().ObserveRecovery(svc.cfg.Label, c.Now()-svc.detectedAt)
 	svc.detectedAt = 0
 	svc.pendingClass = 0
 }
@@ -478,6 +484,7 @@ func (rs *RS) runPolicyScript(c *kernel.Ctx, svc *service, class Defect) {
 	script := svc.cfg.Policy
 	args := append([]string{svc.cfg.Label, fmt.Sprint(int(class)), fmt.Sprint(svc.failures)},
 		svc.cfg.PolicyParams...)
+	c.Obs().Emit(obs.KindPolicyStart, svc.cfg.Label, runnerLabel, int64(class), int64(svc.failures))
 	_, err := c.Spawn(runnerLabel, kernel.Privileges{
 		IPCTo: []string{Label},
 		UID:   1000,
@@ -503,12 +510,15 @@ func (rs *RS) runPolicyScript(c *kernel.Ctx, svc *service, class Defect) {
 				return "", 0
 			}),
 		)
+		rc := int64(0)
 		if _, err := interp.Run(script); err != nil {
 			sh.Logf("policy script failed: %v", err)
+			rc = 1
 			// A broken policy script must not strand the component: fall
 			// back to a direct restart request.
 			_, _ = sh.SendRec(rsEp, kernel.Message{Type: proto.RSRestart, Name: args[0]})
 		}
+		sh.Obs().Emit(obs.KindPolicyExit, args[0], runnerLabel, rc, 0)
 		sh.Exit(0)
 	})
 	if err != nil {
@@ -713,10 +723,19 @@ func (rs *RS) armTimer(c *kernel.Ctx) {
 }
 
 // [recovery:begin]
-// onTimer processes due heartbeats and SIGTERM escalations.
+// onTimer processes due heartbeats and SIGTERM escalations. Services are
+// visited in label order: the visit order is observable through the trace
+// bus (ping sends, heartbeat misses), and map order would make traces
+// differ between identically-seeded runs.
 func (rs *RS) onTimer(c *kernel.Ctx) {
 	now := c.Now()
-	for _, svc := range rs.services {
+	labels := make([]string, 0, len(rs.services))
+	for l := range rs.services {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		svc := rs.services[l]
 		if !svc.running {
 			continue
 		}
@@ -728,6 +747,7 @@ func (rs *RS) onTimer(c *kernel.Ctx) {
 		if svc.cfg.HeartbeatPeriod > 0 && now >= svc.nextPing {
 			if svc.awaiting {
 				svc.missed++
+				c.Obs().Emit(obs.KindHeartbeat, svc.cfg.Label, "miss", int64(svc.missed), 0)
 				if svc.missed >= svc.cfg.HeartbeatMisses {
 					// Defect class 4: the component is stuck. Kill it;
 					// the exit event completes the recovery.

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"resilientos/internal/kernel"
+	"resilientos/internal/obs"
 	"resilientos/internal/proto"
 )
 
@@ -104,6 +105,7 @@ func (d *DS) publish(m kernel.Message) {
 	}
 	d.names[m.Name] = kernel.Endpoint(m.Arg1)
 	d.ctx.Logf("publish %s -> %v", m.Name, kernel.Endpoint(m.Arg1))
+	d.ctx.Obs().Emit(obs.KindPublish, Label, m.Name, m.Arg1, 0)
 	d.reply(m.Source, kernel.Message{Type: proto.DSAck, Arg2: proto.OK})
 	d.fanout(m.Name, m.Arg1)
 }
@@ -114,6 +116,7 @@ func (d *DS) withdraw(m kernel.Message) {
 		return
 	}
 	delete(d.names, m.Name)
+	d.ctx.Obs().Emit(obs.KindPublish, Label, m.Name, proto.InvalidEndpoint, 1)
 	d.reply(m.Source, kernel.Message{Type: proto.DSAck, Arg2: proto.OK})
 	d.fanout(m.Name, proto.InvalidEndpoint)
 }

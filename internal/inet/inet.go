@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"resilientos/internal/kernel"
+	"resilientos/internal/obs"
 	"resilientos/internal/proto"
 	"resilientos/internal/sim"
 )
@@ -65,6 +66,7 @@ type channel struct {
 	label string
 	ep    kernel.Endpoint
 	up    bool
+	bytes *obs.Counter // bytes moved, cached so frameOut never builds names
 }
 
 // sock is one application-visible socket.
@@ -218,6 +220,7 @@ func (s *Server) onDriverUpdate(c *kernel.Ctx, m kernel.Message) {
 	newEp := kernel.Endpoint(m.Arg1)
 	restarted := known && ch.ep != newEp // [recovery]
 	ch.ep = newEp
+	ch.bytes = c.Obs().Metrics().Counter("inet.bytes." + ch.label)
 	reply, err := c.SendRec(ch.ep, kernel.Message{
 		Type: proto.EthConf,
 		Arg1: proto.EthConfPromisc,
@@ -228,8 +231,9 @@ func (s *Server) onDriverUpdate(c *kernel.Ctx, m kernel.Message) {
 	}
 	ch.up = true
 	if restarted { // [recovery]
-		s.stats.ChannelRestarts++ // [recovery]
-		s.resumeIO(ch)            // [recovery]
+		s.stats.ChannelRestarts++                                               // [recovery]
+		c.Obs().Emit(obs.KindReintegrate, c.Label(), ch.label, int64(newEp), 0) // [recovery]
+		s.resumeIO(ch)                                                          // [recovery]
 	}
 }
 
@@ -260,6 +264,7 @@ func (s *Server) frameOut(ch *channel, frame []byte) {
 		return
 	}
 	s.stats.FramesOut++
+	ch.bytes.Add(int64(len(frame)))
 }
 
 // onFrame ingests a frame delivered by a driver.

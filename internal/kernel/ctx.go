@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"resilientos/internal/obs"
 	"resilientos/internal/sim"
 )
 
@@ -24,6 +25,10 @@ func (c *Ctx) Label() string { return c.e.label }
 
 // Now returns the current virtual time.
 func (c *Ctx) Now() sim.Time { return c.k.env.Now() }
+
+// Obs returns the kernel's observability recorder. It may be nil; all
+// recorder methods are nil-safe, so callers instrument unconditionally.
+func (c *Ctx) Obs() *obs.Recorder { return c.k.obs }
 
 // Logf traces a line attributed to this process.
 func (c *Ctx) Logf(format string, args ...any) {
@@ -54,10 +59,15 @@ func (c *Ctx) TryReceive(from Endpoint) (Message, bool) {
 // accepting the request), which is exactly the condition the file server
 // treats as "mark request pending and await the restart" (paper §6.2).
 func (c *Ctx) SendRec(dst Endpoint, msg Message) (Message, error) {
+	start := c.k.env.Now()
 	if err := c.k.send(c.e, dst, msg); err != nil {
 		return Message{}, err
 	}
-	return c.k.receive(c.e, dst)
+	reply, err := c.k.receive(c.e, dst)
+	if err == nil {
+		c.k.obs.ObserveSendRec(c.k.env.Now() - start)
+	}
+	return reply, err
 }
 
 // Notify posts a nonblocking notification to dst.

@@ -1,5 +1,7 @@
 package kernel
 
+import "resilientos/internal/obs"
+
 // IPC primitives, modeled on MINIX 3:
 //
 //   - Send: rendezvous; blocks until the destination receives. Fails with
@@ -26,11 +28,13 @@ func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
 	}
 	d := k.lookup(dst)
 	if d == nil {
+		k.obs.Emit(obs.KindIPCAbort, e.label, k.labelFor(dst), int64(msg.Type), 0)
 		return ErrDeadDst
 	}
 	if !e.priv.allowsIPCTo(d.label) {
 		return ErrNotAllowed
 	}
+	k.obs.Emit(obs.KindIPCSend, e.label, d.label, int64(msg.Type), 0)
 	msg.Source = e.ep
 	if d.recvWait && (d.recvFrom == Any || d.recvFrom == e.ep) {
 		d.recvWait = false
@@ -45,14 +49,30 @@ func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
 	case sendOK:
 		return nil
 	case ipcAbort:
+		k.obs.Emit(obs.KindIPCAbort, e.label, k.labelFor(dst), int64(msg.Type), 0)
 		return v.err
 	default:
 		panic("kernel: unexpected wake value in send")
 	}
 }
 
-// receive implements the blocking receive for e.
+// receive implements the blocking receive for e, wrapping the inner
+// receive with trace emission: every delivered message becomes an
+// ipc.recv event, every death-abort an ipc.abort.
 func (k *Kernel) receive(e *procEntry, from Endpoint) (Message, error) {
+	m, err := k.receiveInner(e, from)
+	if k.obs.On(obs.KindIPCRecv) {
+		if err != nil {
+			k.obs.Emit(obs.KindIPCAbort, e.label, k.labelFor(from), 0, 1)
+		} else {
+			k.obs.Emit(obs.KindIPCRecv, e.label, k.labelFor(m.Source), int64(m.Type), 0)
+		}
+	}
+	return m, err
+}
+
+// receiveInner implements the blocking receive for e.
+func (k *Kernel) receiveInner(e *procEntry, from Endpoint) (Message, error) {
 	if !e.alive {
 		return Message{}, ErrDying
 	}
@@ -238,6 +258,7 @@ func (k *Kernel) asyncSend(e *procEntry, dst Endpoint, msg Message) error {
 	if !e.priv.allowsIPCTo(d.label) {
 		return ErrNotAllowed
 	}
+	k.obs.Emit(obs.KindIPCSend, e.label, d.label, int64(msg.Type), 1)
 	msg.Source = e.ep
 	if d.recvWait && (d.recvFrom == Any || d.recvFrom == e.ep) {
 		d.recvWait = false

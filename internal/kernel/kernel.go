@@ -12,6 +12,7 @@ package kernel
 import (
 	"fmt"
 
+	"resilientos/internal/obs"
 	"resilientos/internal/sim"
 )
 
@@ -90,6 +91,7 @@ type DeathHook func(label string, ep Endpoint, cause Cause)
 // Kernel is the simulated microkernel.
 type Kernel struct {
 	env *sim.Env
+	obs *obs.Recorder // nil = observability off (zero cost)
 
 	slots    []*procEntry // process table; index = slot
 	byLabel  map[string]*procEntry
@@ -111,6 +113,26 @@ func New(env *sim.Env) *Kernel {
 
 // Env returns the simulation environment.
 func (k *Kernel) Env() *sim.Env { return k.env }
+
+// SetObs installs the observability recorder every kernel-layer event is
+// emitted through. A nil recorder (the default) keeps all instrumented
+// paths free.
+func (k *Kernel) SetObs(r *obs.Recorder) { k.obs = r }
+
+// Obs returns the recorder (possibly nil; obs methods are nil-safe).
+func (k *Kernel) Obs() *obs.Recorder { return k.obs }
+
+// labelFor resolves an endpoint to a trace-friendly name: stable labels
+// for live processes, pseudo-source names for the kernel's own sources.
+func (k *Kernel) labelFor(ep Endpoint) string {
+	if ep.valid() {
+		if e := k.lookup(ep); e != nil {
+			return e.label
+		}
+		return "dead"
+	}
+	return ep.String()
+}
 
 // OnDeath registers a hook called (in scheduler context) whenever a system
 // process dies, after all IPC cleanup for the death completed.
@@ -281,6 +303,9 @@ func (k *Kernel) reap(e *procEntry, status int) {
 	}
 	e.alive = false
 	k.env.Logf("kernel", "reap %s ep=%v cause=%v", e.label, e.ep, e.cause)
+	if e.cause.Kind == CauseException {
+		k.obs.Emit(obs.KindProcException, e.label, e.cause.Exc.String(), int64(e.ep), 0)
+	}
 
 	if e.alarm != nil {
 		e.alarm.Cancel()

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"resilientos/internal/kernel"
+	"resilientos/internal/obs"
 	"resilientos/internal/proto"
 	"resilientos/internal/sim"
 )
@@ -51,6 +52,8 @@ type Server struct {
 
 	sb    *Superblock
 	cache *blockCache
+
+	bytes *obs.Counter // bytes moved through the driver, cached per binding
 
 	stats Stats
 }
@@ -120,6 +123,7 @@ func (s *Server) onDriverUpdate(m kernel.Message) {
 	}
 	restarted := s.driverEp != 0 && s.driverEp != kernel.Endpoint(m.Arg1) // [recovery]
 	s.driverEp = kernel.Endpoint(m.Arg1)
+	s.bytes = s.ctx.Obs().Metrics().Counter("mfs.bytes." + s.cfg.DriverLabel)
 	// Reopen minor devices on the fresh instance.
 	reply, err := s.ctx.SendRec(s.driverEp, kernel.Message{Type: proto.BdevOpen, Arg1: 0})
 	if err != nil || reply.Arg1 != proto.OK {
@@ -128,7 +132,8 @@ func (s *Server) onDriverUpdate(m kernel.Message) {
 	}
 	s.driverUp = true
 	if restarted { // [recovery]
-		s.stats.Recoveries++ // [recovery]
+		s.stats.Recoveries++                                                                          // [recovery]
+		s.ctx.Obs().Emit(obs.KindReintegrate, s.ctx.Label(), s.cfg.DriverLabel, int64(s.driverEp), 0) // [recovery]
 	}
 	if s.sb == nil {
 		s.mount()
@@ -200,6 +205,7 @@ func (s *Server) rawIO(write bool, firstSector int64, count int64, buf []byte) e
 		case reply.Arg1 < 0:
 			return errDriverDown
 		}
+		s.bytes.Add(int64(len(buf)))
 		return nil
 	}
 }

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 50})
+	for _, v := range []int64{1, 10, 11, 20, 21, 50, 51, 1000} {
+		h.Observe(v)
+	}
+	// v <= 10 -> bucket 0; 11..20 -> 1; 21..50 -> 2; rest overflow.
+	b := h.Buckets()
+	wantCounts := []int64{2, 2, 2, 2}
+	wantBounds := []int64{10, 20, 50, -1}
+	if len(b) != 4 {
+		t.Fatalf("bucket rows = %d, want 4", len(b))
+	}
+	for i := range b {
+		if b[i].Count != wantCounts[i] || b[i].UpperBound != wantBounds[i] {
+			t.Fatalf("bucket %d = %+v, want ub=%d n=%d", i, b[i], wantBounds[i], wantCounts[i])
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1+10+11+20+21+50+51+1000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 50})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // bucket <=10
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(30) // bucket <=50
+	}
+	if q := h.Quantile(0.50); q != 10 {
+		t.Fatalf("p50 = %d, want 10", q)
+	}
+	if q := h.Quantile(0.99); q != 50 {
+		t.Fatalf("p99 = %d, want 50", q)
+	}
+	// Overflow observations report the largest finite bound.
+	h2 := NewHistogram([]int64{10})
+	h2.Observe(100)
+	if q := h2.Quantile(0.5); q != 10 {
+		t.Fatalf("overflow quantile = %d, want 10", q)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := NewHistogram([]int64{50, 10, 20})
+	h.Observe(15)
+	b := h.Buckets()
+	if b[0].UpperBound != 10 || b[1].UpperBound != 20 || b[1].Count != 1 {
+		t.Fatalf("bounds not sorted: %+v", b)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	g := NewRegistry()
+	c1 := g.Counter("restarts.eth")
+	c1.Add(2)
+	if g.Counter("restarts.eth") != c1 {
+		t.Fatal("counter not cached")
+	}
+	if c1.Value() != 2 {
+		t.Fatalf("counter = %d", c1.Value())
+	}
+	g.Gauge("procs").Set(7)
+	if g.Gauge("procs").Value() != 7 {
+		t.Fatal("gauge lost value")
+	}
+	h := g.Histogram("lat", nil)
+	h.Observe(int64(3 * time.Millisecond))
+	if g.Histogram("lat", []int64{1}) != h {
+		t.Fatal("histogram not cached")
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	g := NewRegistry()
+	g.Counter("z").Add(1)
+	g.Counter("a").Add(1)
+	g.Gauge("m").Set(5)
+	snap := g.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot rows = %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+}

@@ -88,6 +88,9 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 	}
 	e.nextPID++
 	e.procs[p.pid] = p
+	if e.observer != nil {
+		e.observer(ProcSpawn, name, p.pid, 0)
+	}
 	e.Schedule(0, func() {
 		if p.killed || p.state == StateDead {
 			// Killed before it ever ran: just report death.
@@ -160,6 +163,9 @@ func (p *Proc) runExitHooks() {
 	hooks := p.exitHooks
 	p.exitHooks = nil
 	delete(p.env.procs, p.pid)
+	if p.env.observer != nil {
+		p.env.observer(ProcExit, p.name, p.pid, p.exitStatus)
+	}
 	for _, h := range hooks {
 		h(p.exitStatus)
 	}

@@ -65,6 +65,22 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// ProcEvent identifies a process-lifecycle transition reported to an
+// observer (see Env.SetObserver).
+type ProcEvent int
+
+// Process-lifecycle transitions.
+const (
+	ProcSpawn ProcEvent = iota + 1
+	ProcExit
+)
+
+// Observer receives process-lifecycle events from the engine. For
+// ProcSpawn status is 0; for ProcExit it is the exit status (-1 for
+// killed/crashed). Observers run synchronously in scheduler order and
+// must be deterministic.
+type Observer func(ev ProcEvent, name string, pid, status int)
+
 // Env is a simulation environment: one virtual clock, one event queue, and
 // the set of processes living on it. An Env is not safe for concurrent use;
 // the entire simulation is single-threaded by design.
@@ -72,12 +88,15 @@ type Env struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
+	nexec   uint64 // events executed (scheduler work metric)
 	rng     *rand.Rand
 	yield   chan struct{} // processes signal the scheduler here
 	procs   map[int]*Proc
 	nextPID int
 	stopped bool
 	fatal   *procPanic // unexpected panic captured from a process
+
+	observer Observer
 
 	logw    io.Writer
 	logTags map[string]bool // nil means log everything when logw != nil
@@ -97,6 +116,14 @@ func (e *Env) Now() Time { return e.now }
 
 // Rand returns the environment's deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// SetObserver installs the process-lifecycle observer (nil disables).
+// The observability layer (internal/obs) attaches here.
+func (e *Env) SetObserver(o Observer) { e.observer = o }
+
+// EventsExecuted reports how many scheduler events have run — the
+// engine's own work metric, independent of virtual time.
+func (e *Env) EventsExecuted() uint64 { return e.nexec }
 
 // SetLogOutput directs simulation trace output to w (nil disables tracing).
 func (e *Env) SetLogOutput(w io.Writer) { e.logw = w }
@@ -188,6 +215,7 @@ func (e *Env) Run(horizon Time) Time {
 		if ev.at > e.now {
 			e.now = ev.at
 		}
+		e.nexec++
 		ev.fn()
 		if e.fatal != nil {
 			p := e.fatal

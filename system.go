@@ -37,6 +37,7 @@ import (
 	"resilientos/internal/inet"
 	"resilientos/internal/kernel"
 	"resilientos/internal/mfs"
+	"resilientos/internal/obs"
 	"resilientos/internal/policy"
 	"resilientos/internal/proc"
 	"resilientos/internal/ucode"
@@ -80,6 +81,10 @@ type Config struct {
 	Seed int64
 	// Trace, if set, receives the virtual-time event log.
 	Trace io.Writer
+	// Obs, if set, is wired into the kernel and simulation engine: every
+	// instrumented layer emits structured trace events and metrics through
+	// it. Nil (the default) keeps all instrumentation free.
+	Obs *obs.Recorder
 	// Machine tunes the simulated hardware.
 	Machine hw.MachineConfig
 
@@ -156,6 +161,11 @@ func New(cfg Config) *System {
 		env.SetLogOutput(cfg.Trace)
 	}
 	k := kernel.New(env)
+	if cfg.Obs != nil {
+		cfg.Obs.SetClock(env.Now)
+		obs.AttachSim(env, cfg.Obs)
+		k.SetObs(cfg.Obs)
+	}
 	machine := hw.NewMachine(env, k, cfg.Machine)
 	sys := &System{
 		Env:     env,
@@ -378,6 +388,10 @@ func (sys *System) bootChar() {
 		HeartbeatMisses: sys.cfg.HeartbeatMisses,
 	})
 }
+
+// Obs returns the observability recorder the system was booted with
+// (nil when observability is off; all recorder methods are nil-safe).
+func (sys *System) Obs() *obs.Recorder { return sys.cfg.Obs }
 
 // Run advances the simulation by d of virtual time (0 = until the event
 // queue drains). It returns the virtual time reached.
