@@ -1,12 +1,19 @@
-// Command faultbench regenerates the paper's §7.2 software fault-injection
-// experiment: one randomly selected binary fault at a time is injected into
-// the running DP8390-class Ethernet driver until it crashes, the crash is
-// classified (internal panic / CPU-MMU exception / missing heartbeat), the
-// driver is recovered, and the campaign continues.
+// Command faultbench runs software fault-injection campaigns against the
+// simulated OS.
 //
-//	faultbench                 # the paper's 12,500 faults
-//	faultbench -faults 2000    # a quicker campaign
-//	faultbench -hw             # model the real-card gate (§7.2's <5 BIOS resets)
+// The default mode shards a seed × victim-driver × fault-type matrix
+// across a pool of workers, each running an independent deterministic
+// simulation (internal/campaign). The merged report — the paper-style
+// §7.2 table plus per-fault-type recovery-latency histograms — is
+// byte-identical for any -workers value. With -invariants every cell
+// runs the live invariant checker (internal/check) after every scheduler
+// step; a violation dumps the cell's seed, the last mutated instruction,
+// and the last K trace events, and faultbench exits nonzero.
+//
+//	faultbench -matrix seeds=8,per-cell=25 -workers 4 -invariants
+//	faultbench -matrix seeds=2,victims=eth.dp8390,faults=bit-flip
+//	faultbench -classic -faults 12500     # the original single-system §7.2 run
+//	faultbench -classic -hw               # with the real-card gate
 package main
 
 import (
@@ -14,9 +21,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"resilientos"
+	"resilientos/internal/campaign"
 	"resilientos/internal/fi"
 )
 
@@ -29,24 +39,153 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("faultbench", flag.ContinueOnError)
-	faults := fs.Int("faults", 12500, "total faults to inject")
-	seed := fs.Int64("seed", 1, "simulation seed")
-	hwGate := fs.Bool("hw", false, "model real hardware: confusable NIC without master reset")
+	matrix := fs.String("matrix", "", "campaign matrix spec: comma-separated key=value\n"+
+		"keys: seeds=N|s1;s2;..., victims=a;b|all, faults=f1;f2|all, per-cell=N\n"+
+		"example: seeds=8,victims=eth.dp8390;disk.sata,faults=bit-flip,per-cell=25")
+	workers := fs.Int("workers", 1, "worker pool size (output is identical for any value)")
+	invariants := fs.Bool("invariants", false, "run the live invariant checker in every cell")
+	traceTail := fs.Int("trace-tail", 32, "trace events kept per cell for violation repro dumps")
+	quiet := fs.Bool("q", false, "suppress per-cell progress")
+
+	classic := fs.Bool("classic", false, "original §7.2 single-system campaign")
+	faults := fs.Int("faults", 12500, "classic: total faults to inject")
+	seed := fs.Int64("seed", 1, "classic: simulation seed")
+	hwGate := fs.Bool("hw", false, "classic: model real hardware (confusable NIC, no master reset)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	fmt.Printf("§7.2 fault-injection campaign: %d faults into the running DP8390 driver\n", *faults)
+	if *classic {
+		return runClassic(*faults, *seed, *hwGate)
+	}
+
+	cfg, err := parseMatrix(*matrix)
+	if err != nil {
+		return err
+	}
+	cfg.Workers = *workers
+	cfg.Invariants = *invariants
+	cfg.TraceTail = *traceTail
+	if !*quiet {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "  ... cell %d/%d\n", done, total)
+		}
+	}
+
+	start := time.Now()
+	rep := campaign.Run(cfg)
+	rep.Render(os.Stdout)
+	fmt.Printf("\nwall clock: %v (workers=%d)\n", time.Since(start).Round(time.Millisecond), cfg.Workers)
+	if !rep.Ok() {
+		return fmt.Errorf("campaign surfaced %d invariant violation(s)", len(rep.Violations))
+	}
+	return nil
+}
+
+// parseMatrix builds a campaign config from the -matrix spec. Keys are
+// comma-separated; list values use ';' between items. An empty spec is
+// the default matrix (1 seed, standard victims, all fault types).
+func parseMatrix(spec string) (campaign.Config, error) {
+	var cfg campaign.Config
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return cfg, fmt.Errorf("matrix: %q is not key=value", tok)
+		}
+		switch key {
+		case "seeds", "seed":
+			items := splitList(val)
+			if len(items) == 1 && key == "seeds" {
+				// seeds=N is a count: seeds 1..N.
+				n, err := strconv.Atoi(items[0])
+				if err != nil || n < 1 {
+					return cfg, fmt.Errorf("matrix: bad seed count %q", val)
+				}
+				cfg.Seeds = campaign.Seq(n)
+				continue
+			}
+			for _, it := range items {
+				s, err := strconv.ParseInt(it, 10, 64)
+				if err != nil {
+					return cfg, fmt.Errorf("matrix: bad seed %q", it)
+				}
+				cfg.Seeds = append(cfg.Seeds, s)
+			}
+		case "victims", "victim":
+			if val == "all" {
+				cfg.Victims = campaign.DefaultVictims
+				continue
+			}
+			cfg.Victims = splitList(val)
+		case "faults", "fault":
+			if val == "all" {
+				cfg.FaultTypes = campaign.AllFaultTypes
+				continue
+			}
+			for _, it := range splitList(val) {
+				ft, err := parseFaultType(it)
+				if err != nil {
+					return cfg, err
+				}
+				cfg.FaultTypes = append(cfg.FaultTypes, ft)
+			}
+		case "per-cell":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return cfg, fmt.Errorf("matrix: bad per-cell %q", val)
+			}
+			cfg.FaultsPerCell = n
+		default:
+			return cfg, fmt.Errorf("matrix: unknown key %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, it := range strings.Split(s, ";") {
+		if it = strings.TrimSpace(it); it != "" {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func parseFaultType(name string) (fi.FaultType, error) {
+	for _, ft := range campaign.AllFaultTypes {
+		if ft.String() == name {
+			return ft, nil
+		}
+	}
+	var known []string
+	for _, ft := range campaign.AllFaultTypes {
+		known = append(known, ft.String())
+	}
+	return 0, fmt.Errorf("matrix: unknown fault type %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// runClassic is the original §7.2 reproduction: one long-running system,
+// randomly selected fault types, the DP8390 driver as the only victim.
+func runClassic(faults int, seed int64, hwGate bool) error {
+	fmt.Printf("§7.2 fault-injection campaign: %d faults into the running DP8390 driver\n", faults)
 	fmt.Printf("(paper: 12,500 faults, 347 crashes: 65%% panic, 31%% exception, 4%% heartbeat; 100%% recovery)\n")
-	if *hwGate {
+	if hwGate {
 		fmt.Println("hardware gate enabled: garbage commands can wedge the card (no master reset)")
 	}
 	fmt.Println()
 
 	res := resilientos.FaultInjectionCampaign(resilientos.CampaignConfig{
-		Faults:   *faults,
-		Seed:     *seed,
-		Hardware: *hwGate,
+		Faults:   faults,
+		Seed:     seed,
+		Hardware: hwGate,
 		Progress: func(injected, crashes int, now time.Duration) {
 			fmt.Printf("  ... %6d injected, %4d crashes (t=%v)\n", injected, crashes, now.Round(time.Second))
 		},

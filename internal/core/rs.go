@@ -169,9 +169,10 @@ type RS struct {
 	dsEp kernel.Endpoint
 	pmEp kernel.Endpoint
 
-	services map[string]*service
-	pending  []pendingReq // Go-level API requests awaiting the RS loop
-	shSeq    int          // policy-script runner sequence numbers
+	services     map[string]*service
+	sortedLabels []string     // cached label order for ServicesInto
+	pending      []pendingReq // Go-level API requests awaiting the RS loop
+	shSeq        int          // policy-script runner sequence numbers
 
 	events   []Event
 	alerts   []Alert
@@ -239,6 +240,61 @@ func (rs *RS) ServiceEndpoint(label string) kernel.Endpoint {
 		return svc.ep
 	}
 	return kernel.None
+}
+
+// ServiceInfo is a read-only snapshot of one guarded service, for the
+// live invariant checker (internal/check).
+type ServiceInfo struct {
+	Label   string
+	Ep      kernel.Endpoint // current (or last) instance endpoint
+	Running bool
+	Stopped bool // administratively stopped; no recovery expected
+	GaveUp  bool
+
+	HeartbeatPeriod sim.Time
+	HeartbeatMisses int
+	NextPing        sim.Time // next heartbeat deadline (0 = unmonitored)
+	Awaiting        bool     // ping sent, pong outstanding
+	Missed          int      // consecutive misses so far
+
+	Failures   int
+	Recovering bool // defect detected, fresh instance not yet published
+}
+
+// Services returns a snapshot of every guarded service, in label order.
+func (rs *RS) Services() []ServiceInfo { return rs.ServicesInto(nil) }
+
+// ServicesInto appends the snapshot to buf and returns it, letting the
+// live invariant checker — which snapshots after every scheduler step —
+// reuse one buffer. The sorted label list is cached and rebuilt only
+// when services are added.
+func (rs *RS) ServicesInto(buf []ServiceInfo) []ServiceInfo {
+	if len(rs.sortedLabels) != len(rs.services) {
+		rs.sortedLabels = rs.sortedLabels[:0]
+		for l := range rs.services {
+			rs.sortedLabels = append(rs.sortedLabels, l)
+		}
+		sort.Strings(rs.sortedLabels)
+	}
+	out := buf
+	for _, l := range rs.sortedLabels {
+		svc := rs.services[l]
+		out = append(out, ServiceInfo{
+			Label:           l,
+			Ep:              svc.ep,
+			Running:         svc.running,
+			Stopped:         svc.stopped,
+			GaveUp:          svc.gaveUp,
+			HeartbeatPeriod: svc.cfg.HeartbeatPeriod,
+			HeartbeatMisses: svc.cfg.HeartbeatMisses,
+			NextPing:        svc.nextPing,
+			Awaiting:        svc.awaiting,
+			Missed:          svc.missed,
+			Failures:        svc.failures,
+			Recovering:      svc.detectedAt != 0,
+		})
+	}
+	return out
 }
 
 // FailureCount returns a service's consecutive-failure count.

@@ -46,22 +46,52 @@ type record struct {
 type DS struct {
 	ctx    *kernel.Ctx
 	names  map[string]kernel.Endpoint
+	sorted []string // cached name order; nil = rebuild
 	subs   []subscription
 	store  map[string]record // key: owner + "\x00" + name
 	labels map[kernel.Endpoint]string
 }
 
+// sortedNames returns the published names in order, cached between
+// naming changes: the live invariant checker walks the table after every
+// scheduler step.
+func (d *DS) sortedNames() []string {
+	if d.sorted == nil {
+		d.sorted = make([]string, 0, len(d.names))
+		for name := range d.names {
+			d.sorted = append(d.sorted, name)
+		}
+		sort.Strings(d.sorted)
+	}
+	return d.sorted
+}
+
 // Start spawns the data store on k and returns its endpoint.
 func Start(k *kernel.Kernel) (kernel.Endpoint, error) {
+	_, ep, err := StartServer(k)
+	return ep, err
+}
+
+// StartServer spawns the data store and also returns the server handle,
+// which the live invariant checker inspects via VisitNames.
+func StartServer(k *kernel.Kernel) (*DS, kernel.Endpoint, error) {
 	d := &DS{
 		names: make(map[string]kernel.Endpoint),
 		store: make(map[string]record),
 	}
 	ctx, err := k.Spawn(Label, Privileges(), d.run)
 	if err != nil {
-		return kernel.None, err
+		return nil, kernel.None, err
 	}
-	return ctx.Endpoint(), nil
+	return d, ctx.Endpoint(), nil
+}
+
+// VisitNames calls fn for every published name, in name order. Read-only;
+// for the invariant checker's stale-endpoint scan.
+func (d *DS) VisitNames(fn func(name string, ep kernel.Endpoint)) {
+	for _, name := range d.sortedNames() {
+		fn(name, d.names[name])
+	}
 }
 
 func (d *DS) run(c *kernel.Ctx) {
@@ -103,6 +133,9 @@ func (d *DS) publish(m kernel.Message) {
 		d.reply(m.Source, kernel.Message{Type: proto.DSAck, Arg2: proto.ErrPerm})
 		return
 	}
+	if _, exists := d.names[m.Name]; !exists {
+		d.sorted = nil // new name: re-sort on next walk
+	}
 	d.names[m.Name] = kernel.Endpoint(m.Arg1)
 	d.ctx.Logf("publish %s -> %v", m.Name, kernel.Endpoint(m.Arg1))
 	d.ctx.Obs().Emit(obs.KindPublish, Label, m.Name, m.Arg1, 0)
@@ -116,6 +149,7 @@ func (d *DS) withdraw(m kernel.Message) {
 		return
 	}
 	delete(d.names, m.Name)
+	d.sorted = nil
 	d.ctx.Obs().Emit(obs.KindPublish, Label, m.Name, proto.InvalidEndpoint, 1)
 	d.reply(m.Source, kernel.Message{Type: proto.DSAck, Arg2: proto.OK})
 	d.fanout(m.Name, proto.InvalidEndpoint)

@@ -99,6 +99,8 @@ type Kernel struct {
 
 	ports map[uint32]Device // device port space
 	irqs  map[int]*irqLine
+
+	debugLeakGrants bool // test-only: skip grant revocation in reap
 }
 
 // New creates a kernel on the given simulation environment.
@@ -336,7 +338,9 @@ func (k *Kernel) reap(e *procEntry, status int) {
 		}
 	}
 	// Revoke grants and IRQ subscriptions.
-	e.grants = map[GrantID]*grant{}
+	if !k.debugLeakGrants {
+		e.grants = map[GrantID]*grant{}
+	}
 	for _, line := range k.irqs {
 		line.unsubscribe(e)
 	}

@@ -97,6 +97,7 @@ type Env struct {
 	fatal   *procPanic // unexpected panic captured from a process
 
 	observer Observer
+	stepHook func() // runs after every executed event (see SetStepHook)
 
 	logw    io.Writer
 	logTags map[string]bool // nil means log everything when logw != nil
@@ -120,6 +121,13 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // SetObserver installs the process-lifecycle observer (nil disables).
 // The observability layer (internal/obs) attaches here.
 func (e *Env) SetObserver(o Observer) { e.observer = o }
+
+// SetStepHook installs a callback that runs in scheduler context after
+// every executed event (nil disables). The live invariant checker
+// (internal/check) attaches here: the hook sees the system exactly at
+// event boundaries, when no process is mid-instruction. The hook must not
+// call blocking process primitives and must be deterministic.
+func (e *Env) SetStepHook(fn func()) { e.stepHook = fn }
 
 // EventsExecuted reports how many scheduler events have run — the
 // engine's own work metric, independent of virtual time.
@@ -217,6 +225,9 @@ func (e *Env) Run(horizon Time) Time {
 		}
 		e.nexec++
 		ev.fn()
+		if e.stepHook != nil {
+			e.stepHook()
+		}
 		if e.fatal != nil {
 			p := e.fatal
 			e.fatal = nil

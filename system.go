@@ -130,6 +130,7 @@ type System struct {
 	Kernel  *kernel.Kernel
 	Machine *hw.Machine
 	RS      *core.RS
+	DS      *ds.DS // data-store server handle (naming-table inspection)
 
 	PMEp kernel.Endpoint
 	DSEp kernel.Endpoint
@@ -180,7 +181,7 @@ func New(cfg Config) *System {
 	if err != nil {
 		panic(err)
 	}
-	sys.DSEp, err = ds.Start(k)
+	sys.DS, sys.DSEp, err = ds.StartServer(k)
 	if err != nil {
 		panic(err)
 	}
