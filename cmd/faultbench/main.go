@@ -26,8 +26,10 @@ import (
 	"time"
 
 	"resilientos"
+	"resilientos/internal/bench"
 	"resilientos/internal/campaign"
 	"resilientos/internal/fi"
+	"resilientos/internal/obs"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func run(args []string) error {
 	invariants := fs.Bool("invariants", false, "run the live invariant checker in every cell")
 	traceTail := fs.Int("trace-tail", 32, "trace events kept per cell for violation repro dumps")
 	quiet := fs.Bool("q", false, "suppress per-cell progress")
+	benchJSON := fs.String("bench-json", "", "write the machine-readable campaign baseline (BENCH_campaign.json schema) to this file")
 
 	classic := fs.Bool("classic", false, "original §7.2 single-system campaign")
 	faults := fs.Int("faults", 12500, "classic: total faults to inject")
@@ -75,11 +78,51 @@ func run(args []string) error {
 	start := time.Now()
 	rep := campaign.Run(cfg)
 	rep.Render(os.Stdout)
-	fmt.Printf("\nwall clock: %v (workers=%d)\n", time.Since(start).Round(time.Millisecond), cfg.Workers)
+	wall := time.Since(start)
+	fmt.Printf("\nwall clock: %v (workers=%d)\n", wall.Round(time.Millisecond), cfg.Workers)
+	if *benchJSON != "" {
+		if err := bench.WriteFile(*benchJSON, benchReport(rep, wall)); err != nil {
+			return err
+		}
+		fmt.Printf("perf baseline written to %s\n", *benchJSON)
+	}
 	if !rep.Ok() {
 		return fmt.Errorf("campaign surfaced %d invariant violation(s)", len(rep.Violations))
 	}
 	return nil
+}
+
+// benchReport converts the merged campaign report to the BENCH_campaign
+// JSON schema. Virtual-time fields are deterministic for a fixed matrix;
+// wall clock and workers describe the run machine.
+func benchReport(rep *campaign.Report, wall time.Duration) bench.Campaign {
+	out := bench.Campaign{
+		Schema:              bench.SchemaCampaign,
+		Seeds:               len(rep.Config.Seeds),
+		Cells:               len(rep.Cells),
+		FaultsPerCell:       rep.Config.FaultsPerCell,
+		Workers:             rep.Config.Workers,
+		Injected:            rep.Injected,
+		Crashes:             rep.Crashes,
+		Recovered:           rep.Recovered,
+		GaveUp:              rep.GaveUp,
+		InvariantViolations: len(rep.Violations),
+		WallClockS:          wall.Seconds(),
+	}
+	if rep.Crashes > 0 {
+		out.RecoveryRatePct = 100 * float64(rep.Recovered) / float64(rep.Crashes)
+	}
+	for _, a := range rep.ByFault {
+		out.ByFault = append(out.ByFault, bench.CampaignFault{
+			Fault:     a.Fault.String(),
+			Injected:  a.Injected,
+			Crashes:   a.Crashes,
+			Recovered: a.Recovered,
+			GaveUp:    a.GaveUp,
+			Recovery:  bench.Latency(obs.Summarize(a.Latencies)),
+		})
+	}
+	return out
 }
 
 // parseMatrix builds a campaign config from the -matrix spec. Keys are

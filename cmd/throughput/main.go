@@ -11,6 +11,8 @@
 //	throughput -exp fig8              # 1 GB dd | sha1sum
 //	throughput -exp fig7 -size 64     # quick run with a 64 MB transfer
 //	throughput -exp fig7 -size 16 -trace fig7.jsonl   # capture a full trace
+//	throughput -exp fig7 -size 4 -perfetto trace.json # causal spans for ui.perfetto.dev
+//	throughput -exp fig7 -bench-json BENCH_throughput.json
 package main
 
 import (
@@ -23,7 +25,9 @@ import (
 	"time"
 
 	"resilientos"
+	"resilientos/internal/bench"
 	"resilientos/internal/obs"
+	"resilientos/internal/obs/export"
 )
 
 func main() {
@@ -40,28 +44,43 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	intervals := fs.String("intervals", "", "comma-separated kill intervals in seconds (default 1,2,4,6,8,10,12,15)")
 	trace := fs.String("trace", "", "write the full JSONL event trace to this file (use a small -size; summarize with tracestat)")
+	perfetto := fs.String("perfetto", "", "write the causal span trace as Chrome trace-event JSON to this file (open in ui.perfetto.dev; use a small -size)")
+	benchJSON := fs.String("bench-json", "", "write the machine-readable perf baseline (BENCH_throughput.json schema) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var sink obs.Sink
 	var traceDone func() error
-	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			return err
+	var perfettoEvents *obs.SliceSink
+	if *trace != "" || *perfetto != "" {
+		var sinks []obs.Sink
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return err
+			}
+			bw := bufio.NewWriterSize(f, 1<<20)
+			js := obs.NewJSONLSink(bw)
+			sinks = append(sinks, js)
+			traceDone = func() error {
+				if err := js.Err(); err != nil {
+					return err
+				}
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				return f.Close()
+			}
 		}
-		bw := bufio.NewWriterSize(f, 1<<20)
-		js := obs.NewJSONLSink(bw)
-		sink = js
-		traceDone = func() error {
-			if err := js.Err(); err != nil {
-				return err
-			}
-			if err := bw.Flush(); err != nil {
-				return err
-			}
-			return f.Close()
+		if *perfetto != "" {
+			perfettoEvents = &obs.SliceSink{}
+			sinks = append(sinks, perfettoEvents)
+		}
+		if len(sinks) == 1 {
+			sink = sinks[0]
+		} else {
+			sink = teeSink(sinks)
 		}
 	}
 
@@ -77,6 +96,7 @@ func run(args []string) error {
 		}
 	}
 
+	wallStart := time.Now()
 	var points []resilientos.ThroughputPoint
 	switch *exp {
 	case "fig7":
@@ -119,7 +139,63 @@ func run(args []string) error {
 		}
 		fmt.Printf("\ntrace written to %s\n", *trace)
 	}
+	if perfettoEvents != nil {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		if err := export.Export(f, perfettoEvents.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("perfetto trace written to %s\n", *perfetto)
+	}
+	if *benchJSON != "" {
+		size := points[0].Bytes
+		rep := bench.Throughput{
+			Schema:     bench.SchemaThroughput,
+			Experiment: *exp,
+			Seed:       *seed,
+			SizeBytes:  size,
+			WallClockS: time.Since(wallStart).Seconds(),
+		}
+		for _, p := range points {
+			virt := p.Duration.Seconds()
+			var ops float64
+			if virt > 0 {
+				ops = float64(p.Bytes) / (64 << 10) / virt
+			}
+			rep.Points = append(rep.Points, bench.ThroughputPoint{
+				KillIntervalS:  p.KillInterval.Seconds(),
+				Bytes:          p.Bytes,
+				VirtualS:       virt,
+				MBps:           p.MBps,
+				OpsPerVirtualS: ops,
+				Kills:          p.Kills,
+				Recoveries:     p.Recoveries,
+				OK:             p.OK,
+				Recovery:       bench.Latency(p.Recovery),
+			})
+		}
+		if err := bench.WriteFile(*benchJSON, rep); err != nil {
+			return err
+		}
+		fmt.Printf("perf baseline written to %s\n", *benchJSON)
+	}
 	return nil
+}
+
+// teeSink fans every event out to multiple sinks.
+type teeSink []obs.Sink
+
+// Emit implements obs.Sink.
+func (t teeSink) Emit(e obs.Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
 }
 
 // printLatencyTable renders the recovery-latency distribution per point.

@@ -1,12 +1,21 @@
 // Command tracestat summarizes a JSONL trace captured from the
 // observability subsystem (e.g. throughput -trace fig7.jsonl): total and
-// per-component event counts, the event-kind breakdown, and the
+// per-component event counts, the event-kind breakdown, the
 // per-component recovery-latency distribution stitched from the trace's
-// defect → policy → restart → reintegration spans.
+// defect → policy → restart → reintegration spans, and — when the trace
+// carries causal spans — the virtual-time profile (top spans by self
+// time, per-component compute/blocked/dead split).
+//
+// A trace that begins with a ring-sink drop mark (the trace was captured
+// through a bounded buffer that overflowed) is reported as truncated,
+// with the dropped-event count.
 //
 //	tracestat fig7.jsonl
 //	tracestat -spans fig7.jsonl       # also dump every recovery span
 //	tracestat -comp eth.rtl8139 trace.jsonl
+//	tracestat -kinds span.begin,span.end,span.orphan trace.jsonl
+//	tracestat -top 20 trace.jsonl     # span profile table
+//	tracestat -folded out.folded -perfetto out.json trace.jsonl
 package main
 
 import (
@@ -14,9 +23,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"resilientos/internal/obs"
+	"resilientos/internal/obs/export"
+	"resilientos/internal/obs/profile"
 )
 
 func main() {
@@ -30,11 +42,15 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
 	comp := fs.String("comp", "", "restrict the latency table to one component label")
 	spans := fs.Bool("spans", false, "dump every recovery span")
+	kinds := fs.String("kinds", "", "comma-separated event kinds to keep (e.g. span.begin,span.end); default all")
+	top := fs.Int("top", 10, "rows in the span-profile table (0 disables)")
+	folded := fs.String("folded", "", "write the folded-stacks flamegraph profile to this file")
+	perfetto := fs.String("perfetto", "", "write the Chrome trace-event JSON export to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracestat [-comp label] [-spans] <trace.jsonl>")
+		return fmt.Errorf("usage: tracestat [-comp label] [-spans] [-kinds list] [-top n] [-folded out] [-perfetto out] <trace.jsonl>")
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -44,6 +60,32 @@ func run(args []string) error {
 	events, err := obs.ParseJSONL(f)
 	if err != nil {
 		return err
+	}
+	// A leading ring-sink drop mark means the capture buffer overflowed:
+	// everything downstream describes a truncated trace.
+	if len(events) > 0 {
+		e := events[0]
+		if e.Kind == obs.KindMark && e.Comp == obs.DropMarkComp && e.Aux == obs.DropMarkAux {
+			fmt.Printf("WARNING: trace truncated — %d older event(s) dropped by the capture ring\n\n", e.V1)
+			events = events[1:]
+		}
+	}
+	if *kinds != "" {
+		keep := make(map[obs.Kind]bool)
+		for _, name := range strings.Split(*kinds, ",") {
+			k, ok := obs.ParseKind(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown event kind %q", name)
+			}
+			keep[k] = true
+		}
+		kept := events[:0]
+		for _, e := range events {
+			if keep[e.Kind] {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
 	}
 	if len(events) == 0 {
 		fmt.Println("empty trace")
@@ -113,6 +155,39 @@ func run(args []string) error {
 	}
 	if !printed {
 		fmt.Println("(no completed recoveries in trace)")
+	}
+
+	// Causal-span profile: virtual-time attribution over the span forest.
+	prof := profile.Build(events)
+	if prof.Spans > 0 && *top > 0 {
+		fmt.Println()
+		fmt.Printf("span profile (%d terminated spans, %d still open)\n", prof.Spans, prof.Open)
+		prof.WriteTable(os.Stdout, *top)
+	}
+	if *folded != "" {
+		out, err := os.Create(*folded)
+		if err != nil {
+			return err
+		}
+		prof.WriteFolded(out)
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nfolded stacks written to %s\n", *folded)
+	}
+	if *perfetto != "" {
+		out, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		if err := export.Export(out, events); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("perfetto trace written to %s\n", *perfetto)
 	}
 	return nil
 }

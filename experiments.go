@@ -87,6 +87,7 @@ func newExperimentRecorder(sink obs.Sink) (*obs.Recorder, *obs.SliceSink) {
 		rec.AddSink(sink)
 	} else {
 		rec.Disable(obs.KindIPCSend, obs.KindIPCRecv, obs.KindProcSpawn, obs.KindProcExit)
+		rec.Disable(obs.SpanKinds...)
 	}
 	return rec, events
 }

@@ -1,0 +1,99 @@
+// Package bench defines the machine-readable performance baselines the
+// benchmark commands emit (BENCH_throughput.json, BENCH_campaign.json).
+// The schemas are documented in EXPERIMENTS.md; CI uploads the files as
+// artifacts so regressions are diffable across commits. Virtual-time
+// numbers are deterministic for a fixed seed+workload; wall-clock fields
+// describe the run machine and are expected to vary.
+package bench
+
+import (
+	"encoding/json"
+	"os"
+
+	"resilientos/internal/obs"
+	"resilientos/internal/sim"
+)
+
+// Schema identifiers; bump the version on incompatible field changes.
+const (
+	SchemaThroughput = "resilientos/bench/throughput/v1"
+	SchemaCampaign   = "resilientos/bench/campaign/v1"
+)
+
+// LatencyMs is a recovery-latency distribution in virtual milliseconds.
+type LatencyMs struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Latency converts an obs summary to the JSON shape.
+func Latency(s obs.LatencySummary) LatencyMs {
+	ms := func(t sim.Time) float64 { return float64(t) / 1e6 }
+	return LatencyMs{
+		Count: s.Count, MeanMs: ms(s.Mean),
+		P50Ms: ms(s.P50), P95Ms: ms(s.P95), P99Ms: ms(s.P99), MaxMs: ms(s.Max),
+	}
+}
+
+// ThroughputPoint is one kill-interval point of a Fig. 7/8 sweep.
+type ThroughputPoint struct {
+	KillIntervalS  float64   `json:"kill_interval_s"` // 0 = uninterrupted
+	Bytes          int64     `json:"bytes"`
+	VirtualS       float64   `json:"virtual_s"` // transfer duration, virtual time
+	MBps           float64   `json:"mbps"`
+	OpsPerVirtualS float64   `json:"ops_per_virtual_s"` // 64 KiB reads per virtual second
+	Kills          int       `json:"kills"`
+	Recoveries     int       `json:"recoveries"`
+	OK             bool      `json:"ok"`
+	Recovery       LatencyMs `json:"recovery"`
+}
+
+// Throughput is the BENCH_throughput.json document.
+type Throughput struct {
+	Schema     string            `json:"schema"`
+	Experiment string            `json:"experiment"` // "fig7" or "fig8"
+	Seed       int64             `json:"seed"`
+	SizeBytes  int64             `json:"size_bytes"`
+	WallClockS float64           `json:"wall_clock_s"`
+	Points     []ThroughputPoint `json:"points"`
+}
+
+// CampaignFault aggregates one fault type of a SWIFI campaign.
+type CampaignFault struct {
+	Fault     string    `json:"fault"`
+	Injected  int       `json:"injected"`
+	Crashes   int       `json:"crashes"`
+	Recovered int       `json:"recovered"`
+	GaveUp    int       `json:"gave_up"`
+	Recovery  LatencyMs `json:"recovery"`
+}
+
+// Campaign is the BENCH_campaign.json document.
+type Campaign struct {
+	Schema              string          `json:"schema"`
+	Seeds               int             `json:"seeds"`
+	Cells               int             `json:"cells"`
+	FaultsPerCell       int             `json:"faults_per_cell"`
+	Workers             int             `json:"workers"`
+	Injected            int             `json:"injected"`
+	Crashes             int             `json:"crashes"`
+	Recovered           int             `json:"recovered"`
+	GaveUp              int             `json:"gave_up"`
+	RecoveryRatePct     float64         `json:"recovery_rate_pct"`
+	InvariantViolations int             `json:"invariant_violations"`
+	WallClockS          float64         `json:"wall_clock_s"`
+	ByFault             []CampaignFault `json:"by_fault"`
+}
+
+// WriteFile marshals v as indented JSON (plus trailing newline) to path.
+func WriteFile(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -22,6 +22,12 @@
 //   - trace-span: recovery traces are well-formed — every defect span
 //     closes (restart or give-up) within a deadline, and every policy
 //     script that starts also exits.
+//   - span-leak: causal request spans are well-formed — no span begins
+//     twice or terminates without being open, and at the end of the run
+//     every opened span was ended or orphaned (a span whose owner died
+//     must have been orphaned by the kernel's reaper; an open span with
+//     a live owner is a request legitimately still in flight, unless
+//     StrictSpanLeaks is set).
 //
 // Violations carry the virtual time and a one-line detail; the checker
 // also keeps a bounded tail of recent trace events so a campaign can turn
@@ -93,12 +99,21 @@ type Config struct {
 	// before the monitoring itself is declared stalled (default: one
 	// heartbeat period).
 	HeartbeatSlack sim.Time
+
+	// StrictSpanLeaks makes every causal span still open at Finish a
+	// span-leak violation. The default is lenient: an open span whose
+	// owning component is still alive is a request legitimately in
+	// flight (a blocked socket read, say) — only spans owned by dead
+	// components count, and those indicate the kernel reaper failed to
+	// orphan them. Set it for workloads known to quiesce before the end
+	// of the run.
+	StrictSpanLeaks bool
 }
 
 // Violation is one invariant failure.
 type Violation struct {
 	T         sim.Time
-	Invariant string // "rs-guard", "endpoint-unique", "stale-endpoint", "grant-safety", "heartbeat", "trace-span"
+	Invariant string // "rs-guard", "endpoint-unique", "stale-endpoint", "grant-safety", "heartbeat", "trace-span", "span-leak"
 	Comp      string // component label the violation is about
 	Detail    string
 }
@@ -118,11 +133,12 @@ type Checker struct {
 	active     map[string]bool // violation episodes currently firing
 
 	// Event-driven state.
-	pendingPublish map[string]bool     // label restarted, DS publish not yet seen
-	openSpans      map[string]sim.Time // label -> defect detection time
-	openPolicies   map[string]sim.Time // label -> policy script start time
-	deadSince      map[string]sim.Time // label -> first seen dead-while-running
-	staleGrants    map[grantKey]int    // grant -> step first seen with dead grantee
+	pendingPublish map[string]bool      // label restarted, DS publish not yet seen
+	openSpans      map[string]sim.Time  // label -> defect detection time
+	openPolicies   map[string]sim.Time  // label -> policy script start time
+	deadSince      map[string]sim.Time  // label -> first seen dead-while-running
+	staleGrants    map[grantKey]int     // grant -> step first seen with dead grantee
+	openCausal     map[int64]causalSpan // causal span ID -> begin info (span-leak)
 
 	// Per-step scratch state, reused to keep the every-step scans
 	// allocation-free.
@@ -137,6 +153,12 @@ type grantKey struct {
 	owner kernel.Endpoint
 	id    kernel.GrantID
 	to    kernel.Endpoint
+}
+
+// causalSpan is the begin-side record of one open causal request span.
+type causalSpan struct {
+	comp string
+	t    sim.Time
 }
 
 // Attach wires a checker into a live simulation: cfg.Now defaults to
@@ -183,6 +205,7 @@ func New(cfg Config) *Checker {
 		openPolicies:   make(map[string]sim.Time),
 		deadSince:      make(map[string]sim.Time),
 		staleGrants:    make(map[grantKey]int),
+		openCausal:     make(map[int64]causalSpan),
 		seenEp:         make(map[kernel.Endpoint]string),
 		seenLabel:      make(map[string]kernel.Endpoint),
 		liveStale:      make(map[grantKey]bool),
@@ -239,6 +262,20 @@ func (c *Checker) Emit(e obs.Event) {
 		c.pendingPublish = make(map[string]bool)
 		c.openSpans = make(map[string]sim.Time)
 		c.openPolicies = make(map[string]sim.Time)
+		c.openCausal = make(map[int64]causalSpan)
+	case obs.KindSpanBegin:
+		if prev, dup := c.openCausal[e.Span]; dup {
+			c.report(fmt.Sprintf("spanbegin:%d", e.Span), "span-leak", e.Comp,
+				fmt.Sprintf("span %d begun twice (first by %s at %v)",
+					e.Span, prev.comp, time.Duration(prev.t)))
+		}
+		c.openCausal[e.Span] = causalSpan{comp: e.Comp, t: e.T}
+	case obs.KindSpanEnd, obs.KindSpanOrphan:
+		if _, open := c.openCausal[e.Span]; !open {
+			c.report(fmt.Sprintf("spanterm:%d", e.Span), "span-leak", e.Comp,
+				fmt.Sprintf("span %d terminated without being open (never begun, or terminated twice)", e.Span))
+		}
+		delete(c.openCausal, e.Span)
 	case obs.KindDefect:
 		// A re-defect before recovery finished re-arms the deadline.
 		c.openSpans[e.Comp] = e.T
@@ -297,6 +334,20 @@ func (c *Checker) Finish() {
 		c.report("finish-policy:"+comp, "trace-span", comp,
 			fmt.Sprintf("policy script started at %v never exited",
 				time.Duration(c.openPolicies[comp])))
+	}
+	for _, id := range sortedSpanIDs(c.openCausal) {
+		sp := c.openCausal[id]
+		if !c.cfg.StrictSpanLeaks {
+			// Lenient mode: an open span whose owner is still alive is a
+			// request legitimately in flight. Only a dead owner's open
+			// span is a leak — the reaper should have orphaned it.
+			if c.cfg.Kernel == nil || c.cfg.Kernel.LookupLabel(sp.comp) != kernel.None {
+				continue
+			}
+		}
+		c.report(fmt.Sprintf("finish-causal:%d", id), "span-leak", sp.comp,
+			fmt.Sprintf("span %d opened at %v never ended or orphaned",
+				id, time.Duration(sp.t)))
 	}
 }
 
@@ -492,6 +543,19 @@ func (c *Checker) scanSpans(now sim.Time) {
 					time.Duration(c.openPolicies[comp]), time.Duration(c.cfg.SpanDeadline)))
 		}
 	}
+}
+
+func sortedSpanIDs(m map[int64]causalSpan) []int64 {
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
 }
 
 func sortedTimeKeys(m map[string]sim.Time) []string {

@@ -149,6 +149,13 @@ type service struct {
 
 	detectedAt   sim.Time // set when a defect is detected, for Duration
 	pendingClass Defect   // class of the recovery a policy script is driving
+
+	// episode is the recovery episode's root span, opened at defect
+	// detection and closed when the fresh instance is published (or RS
+	// gives up). Everything the recovery touches — the policy script, the
+	// new instance's initialization, dependents' reintegration — nests
+	// under or links back to it.
+	episode obs.SpanContext
 }
 
 // internal message type: drain the pending Go-level requests.
@@ -483,6 +490,9 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 	svc.lastFailure = c.Now()
 	c.Logf("defect %v in %s (repetition %d)", class, svc.cfg.Label, svc.failures)
 	c.Obs().Emit(obs.KindDefect, svc.cfg.Label, class.String(), int64(svc.failures), int64(class))
+	if !svc.episode.Valid() {
+		svc.episode = c.Obs().StartSpan(Label, "recover:"+svc.cfg.Label, obs.SpanContext{})
+	}
 
 	if svc.cfg.MaxRestarts > 0 && svc.failures > svc.cfg.MaxRestarts {
 		svc.gaveUp = true
@@ -491,8 +501,13 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 			Repetition: svc.failures, GaveUp: true,
 		})
 		c.Obs().Emit(obs.KindGiveUp, svc.cfg.Label, class.String(), int64(svc.failures), 0)
-		// Withdraw the name so dependents see the component as gone.
+		// Withdraw the name so dependents see the component as gone. The
+		// episode ends unsuccessfully (status 1): the component stays down.
+		c.SetTraceCtx(svc.episode)
 		_, _ = c.SendRec(rs.dsEp, kernel.Message{Type: proto.DSWithdraw, Name: svc.cfg.Label})
+		c.Obs().EndSpan(Label, svc.episode, 1)
+		svc.episode = obs.SpanContext{}
+		c.SetTraceCtx(obs.SpanContext{})
 		return
 	}
 
@@ -508,8 +523,12 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 // [recovery:end]
 
 // [recovery:begin]
-// completeRecovery restarts the component and records the event.
+// completeRecovery restarts the component and records the event. The
+// spawn and publish run under the episode's context, so the fresh
+// instance's initialization and the data-store fanout that triggers
+// dependents' reintegration are causal children of the episode span.
 func (rs *RS) completeRecovery(c *kernel.Ctx, svc *service, class Defect) {
+	c.SetTraceCtx(svc.episode)
 	rs.spawnInstance(c, svc)
 	rs.events = append(rs.events, Event{
 		Time:       svc.detectedAt,
@@ -521,6 +540,9 @@ func (rs *RS) completeRecovery(c *kernel.Ctx, svc *service, class Defect) {
 		NewEp:      svc.ep,
 	})
 	c.Obs().ObserveRecovery(svc.cfg.Label, c.Now()-svc.detectedAt)
+	c.Obs().EndSpan(Label, svc.episode, 0)
+	svc.episode = obs.SpanContext{}
+	c.SetTraceCtx(obs.SpanContext{})
 	svc.detectedAt = 0
 	svc.pendingClass = 0
 }
@@ -541,6 +563,9 @@ func (rs *RS) runPolicyScript(c *kernel.Ctx, svc *service, class Defect) {
 	args := append([]string{svc.cfg.Label, fmt.Sprint(int(class)), fmt.Sprint(svc.failures)},
 		svc.cfg.PolicyParams...)
 	c.Obs().Emit(obs.KindPolicyStart, svc.cfg.Label, runnerLabel, int64(class), int64(svc.failures))
+	// The runner inherits the episode context at spawn: the script's
+	// restart calls show up inside the episode's span tree.
+	c.SetTraceCtx(svc.episode)
 	_, err := c.Spawn(runnerLabel, kernel.Privileges{
 		IPCTo: []string{Label},
 		UID:   1000,
@@ -784,6 +809,9 @@ func (rs *RS) armTimer(c *kernel.Ctx) {
 // bus (ping sends, heartbeat misses), and map order would make traces
 // differ between identically-seeded runs.
 func (rs *RS) onTimer(c *kernel.Ctx) {
+	// Clock notifications carry no trace context, so whatever context the
+	// last recovery left ambient would leak into heartbeat pings: clear it.
+	c.SetTraceCtx(obs.SpanContext{})
 	now := c.Now()
 	labels := make([]string, 0, len(rs.services))
 	for l := range rs.services {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"resilientos/internal/kernel"
+	"resilientos/internal/obs"
 	"resilientos/internal/proto"
 	"resilientos/internal/ucode"
 )
@@ -37,10 +38,22 @@ type Device interface {
 
 // Run executes the canonical driver message loop. It does not return
 // except by process exit.
+//
+// When span tracing is on the loop also carries the causal story: the
+// process starts under its spawner's ambient context — for an instance
+// the reincarnation server spawns mid-recovery that is the episode span,
+// so reinitialization nests under the recovery that caused it — and each
+// protocol request runs inside a span parented on the request's context.
+// A driver that dies mid-request leaves that span open; the kernel's
+// reaper orphans it, which is how a crash-interrupted request becomes
+// visible in the trace.
 func Run(c *kernel.Ctx, d Device) {
+	initSpan := c.BeginWork("init", c.TraceCtx())
 	if err := d.Init(c); err != nil {
 		c.Panic("init: " + err.Error())
 	}
+	c.EndWork(initSpan, 0)
+	c.SetTraceCtx(obs.SpanContext{}) // startup context must not bleed into steady state
 	for {
 		m, err := c.Receive(kernel.Any)
 		if err != nil {
@@ -48,8 +61,13 @@ func Run(c *kernel.Ctx, d Device) {
 		}
 		switch {
 		case m.Type == kernel.MsgNotify && m.Source == kernel.Hardware:
+			// Interrupts are context-free; clear the stale ambient so
+			// frames delivered from IRQ handling aren't attributed to the
+			// last request this driver processed.
+			c.SetTraceCtx(obs.SpanContext{})
 			d.HandleIRQ(c, uint64(m.Arg1))
 		case m.Type == kernel.MsgNotify && m.Source == kernel.Clock:
+			c.SetTraceCtx(obs.SpanContext{})
 			d.HandleAlarm(c)
 		case m.Type == kernel.MsgNotify && m.Source == kernel.System:
 			for _, sig := range c.SigPending() {
@@ -61,9 +79,36 @@ func Run(c *kernel.Ctx, d Device) {
 		case m.Type == proto.RSPing: // [recovery] heartbeat request
 			_ = c.AsyncSend(m.Source, kernel.Message{Type: proto.RSPong}) // [recovery]
 		default:
+			sc := c.BeginWork(reqName(m.Type), m.Trace)
 			d.HandleRequest(c, m)
+			c.EndWork(sc, 0)
 		}
 	}
+}
+
+// reqName names a request span after its protocol operation.
+func reqName(t int32) string {
+	switch t {
+	case proto.BdevOpen:
+		return "drv.open"
+	case proto.BdevRead:
+		return "drv.read"
+	case proto.BdevWrite:
+		return "drv.write"
+	case proto.EthConf:
+		return "drv.conf"
+	case proto.EthSend:
+		return "drv.send"
+	case proto.ChrOpen:
+		return "drv.open"
+	case proto.ChrRead:
+		return "drv.read"
+	case proto.ChrWrite:
+		return "drv.write"
+	case proto.ChrIoctl:
+		return "drv.ioctl"
+	}
+	return "drv.req"
 }
 
 // Stuck emulates a driver wedged in an infinite loop: the process stays

@@ -107,6 +107,11 @@ type Server struct {
 	nextPort  uint16
 	nextISS   uint32
 
+	// episode is the RS recovery episode's span context, carried on the
+	// DSUpdate that announced a restarted driver; held only while
+	// resumeIO links outstanding operations to it. // [recovery]
+	episode obs.SpanContext
+
 	stats Stats
 }
 
@@ -173,6 +178,10 @@ func (s *Server) run(c *kernel.Ctx) {
 		}
 		switch m.Type {
 		case kernel.MsgNotify:
+			// Notifications carry no causal context; drop any stale
+			// ambient so timer-driven retransmissions aren't attributed
+			// to whatever request this loop handled last.
+			c.SetTraceCtx(obs.SpanContext{})
 			if m.Source == kernel.Clock {
 				s.onTimer()
 			}
@@ -232,8 +241,10 @@ func (s *Server) onDriverUpdate(c *kernel.Ctx, m kernel.Message) {
 	ch.up = true
 	if restarted { // [recovery]
 		s.stats.ChannelRestarts++                                               // [recovery]
+		s.episode = m.Trace                                                     // [recovery]
 		c.Obs().Emit(obs.KindReintegrate, c.Label(), ch.label, int64(newEp), 0) // [recovery]
 		s.resumeIO(ch)                                                          // [recovery]
+		s.episode = obs.SpanContext{}                                           // [recovery]
 	}
 }
 
@@ -244,19 +255,37 @@ func (s *Server) resumeIO(ch *channel) { // [recovery]
 	for _, id := range s.sockOrder { // [recovery]
 		sk := s.socks[id]                                        // [recovery]
 		if sk != nil && sk.kind == sockTCP && sk.conn.ch == ch { // [recovery]
-			s.trySend(sk.conn) // [recovery]
+			s.linkEpisode(sk.conn) // [recovery]
+			s.trySend(sk.conn)     // [recovery]
 		} // [recovery]
 	} // [recovery]
 }
 
-// frameOut transmits one frame on a channel. A down driver drops the
-// frame — exactly the window TCP retransmission covers.
-func (s *Server) frameOut(ch *channel, frame []byte) {
+// linkEpisode marks every operation still outstanding on a connection as
+// recovered by the current driver-recovery episode: each op span gets a
+// "recovered-by" link to the episode span, the network-path (§6.1)
+// mirror of the file server's reissue arc (§6.2).
+func (s *Server) linkEpisode(c *tcpConn) { // [recovery]
+	if !s.episode.Valid() { // [recovery]
+		return // [recovery]
+	} // [recovery]
+	for _, sc := range [...]obs.SpanContext{c.connectCtx, c.sendCtx, c.recvCtx} { // [recovery]
+		if sc.Valid() { // [recovery]
+			s.ctx.Obs().LinkSpan(s.ctx.Label(), sc, s.episode, "recovered-by") // [recovery]
+		} // [recovery]
+	} // [recovery]
+}
+
+// frameOut transmits one frame on a channel, stamped with the causal
+// context of the operation it serves (zero lets the kernel stamp the
+// server's ambient context). A down driver drops the frame — exactly the
+// window TCP retransmission covers.
+func (s *Server) frameOut(ch *channel, frame []byte, trace obs.SpanContext) {
 	if ch == nil || !ch.up {
 		s.stats.FramesDropped++
 		return
 	}
-	err := s.ctx.AsyncSend(ch.ep, kernel.Message{Type: proto.EthSend, Payload: frame})
+	err := s.ctx.AsyncSend(ch.ep, kernel.Message{Type: proto.EthSend, Payload: frame, Trace: trace})
 	if err != nil {
 		// Driver died since the last DS update.
 		ch.up = false // [recovery]
@@ -374,6 +403,7 @@ func (s *Server) onConnect(m kernel.Message) {
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1
 	sk.conn = c
+	c.connectCtx = s.ctx.BeginWork("tcp.connect", m.Trace)
 	s.tcpSegOut(c, flagSYN, c.iss, nil)
 	s.armRetx(c)
 }
@@ -449,6 +479,7 @@ func (s *Server) onSend(m kernel.Message) {
 	c.sendW = m.Source
 	c.sendData = m.Payload
 	c.sendDone = 0
+	c.sendCtx = s.ctx.BeginWork("tcp.send", m.Trace)
 	s.admitBlockedSend(c)
 }
 
@@ -463,12 +494,15 @@ func (s *Server) onRecv(m kernel.Message) {
 	if max <= 0 {
 		max = MSS
 	}
+	c.recvCtx = s.ctx.BeginWork("tcp.recv", m.Trace)
 	if len(c.rcvBuf) > 0 || c.rcvFIN {
 		s.replyRecv(c, m.Source, max)
 		return
 	}
 	if c.state == stateClosed {
 		s.reply(m.Source, kernel.Message{Type: proto.SockReply, Arg1: proto.ErrClosed})
+		s.ctx.EndWork(c.recvCtx, 1)
+		c.recvCtx = obs.SpanContext{}
 		return
 	}
 	c.recvW = m.Source
@@ -527,7 +561,7 @@ func (s *Server) onUDPSend(m kernel.Message) {
 		srcPort: src,
 		dstPort: uint16(m.Arg1),
 		payload: m.Payload,
-	}))
+	}), m.Trace)
 	s.reply(m.Source, kernel.Message{Type: proto.SockReply, Arg1: int64(len(m.Payload))})
 }
 

@@ -2,6 +2,7 @@ package inet
 
 import (
 	"resilientos/internal/kernel"
+	"resilientos/internal/obs"
 	"resilientos/internal/proto"
 	"resilientos/internal/sim"
 )
@@ -70,6 +71,15 @@ type tcpConn struct {
 	sendW    kernel.Endpoint // waiting TCPSend caller
 	sendData []byte          // remainder the waiting sender still owes
 	sendDone int             // bytes of the blocked send already queued
+
+	// Causal tracing: one op span per outstanding application call,
+	// opened when the call arrives and ended at its reply site. Frames
+	// the connection emits while an op is outstanding carry that op's
+	// context, so driver-side work — including a restarted driver's
+	// retransmission handling — nests under the application request.
+	connectCtx obs.SpanContext
+	recvCtx    obs.SpanContext
+	sendCtx    obs.SpanContext
 }
 
 // inFlight reports whether unacknowledged data (or control) is
@@ -107,7 +117,22 @@ func (s *Server) tcpSegOut(c *tcpConn, flags uint8, seq uint32, payload []byte) 
 		wnd:     c.rcvWindow(),
 		payload: payload,
 	}
-	s.frameOut(c.ch, encodeTCP(seg))
+	s.frameOut(c.ch, encodeTCP(seg), c.opCtx())
+}
+
+// opCtx picks the causal context an outgoing segment belongs to: the
+// handshake while connecting, otherwise the blocked send (data and its
+// retransmissions) before the blocked receive (window-update ACKs). Zero
+// when no application call is outstanding — the kernel then stamps the
+// server's ambient context, typically the inbound frame being answered.
+func (c *tcpConn) opCtx() obs.SpanContext {
+	switch {
+	case c.connectCtx.Valid():
+		return c.connectCtx
+	case c.sendCtx.Valid():
+		return c.sendCtx
+	}
+	return c.recvCtx
 }
 
 // sendAck emits a bare ACK.
@@ -241,7 +266,7 @@ func (s *Server) handleSegment(ch *channel, seg *segment) {
 				srcPort: seg.dstPort, dstPort: seg.srcPort,
 				seq: seg.ack, ack: seg.seq, flags: flagRST,
 			}
-			s.frameOut(ch, encodeTCP(rst))
+			s.frameOut(ch, encodeTCP(rst), obs.SpanContext{})
 		}
 		return
 	}
@@ -261,7 +286,7 @@ func (s *Server) handleSegment(ch *channel, seg *segment) {
 			s.frameOut(c.ch, encodeTCP(&segment{
 				srcPort: c.localPort, dstPort: c.remotePort,
 				seq: seg.ack, flags: flagRST,
-			}))
+			}), obs.SpanContext{})
 			return
 		}
 		if seg.flags&(flagSYN|flagACK) == flagSYN|flagACK && seg.ack == c.iss+1 {
@@ -275,6 +300,8 @@ func (s *Server) handleSegment(ch *channel, seg *segment) {
 			if c.connectW != 0 {
 				s.reply(c.connectW, kernel.Message{Type: proto.SockReply, Arg1: c.id})
 				c.connectW = 0
+				s.ctx.EndWork(c.connectCtx, 0)
+				c.connectCtx = obs.SpanContext{}
 			}
 		}
 	case stateSynRcvd:
@@ -480,10 +507,13 @@ func (s *Server) wakeReader(c *tcpConn) {
 	s.replyRecv(c, waiter, c.recvMax)
 }
 
-// replyRecv answers a TCPRecv with available data (or EOF).
+// replyRecv answers a TCPRecv with available data (or EOF) and closes
+// the receive op span.
 func (s *Server) replyRecv(c *tcpConn, to kernel.Endpoint, max int) {
 	if len(c.rcvBuf) == 0 && c.rcvFIN {
 		s.reply(to, kernel.Message{Type: proto.SockReply, Arg1: 0}) // EOF
+		s.ctx.EndWork(c.recvCtx, 0)
+		c.recvCtx = obs.SpanContext{}
 		return
 	}
 	n := len(c.rcvBuf)
@@ -496,6 +526,8 @@ func (s *Server) replyRecv(c *tcpConn, to kernel.Endpoint, max int) {
 	// Reading opened the window: tell the sender.
 	s.sendAck(c)
 	s.reply(to, kernel.Message{Type: proto.SockReply, Arg1: int64(n), Payload: payload})
+	s.ctx.EndWork(c.recvCtx, 0)
+	c.recvCtx = obs.SpanContext{}
 }
 
 // admitBlockedSend moves bytes from a blocked TCPSend into freed buffer
@@ -519,6 +551,8 @@ func (s *Server) admitBlockedSend(c *tcpConn) {
 		s.reply(c.sendW, kernel.Message{Type: proto.SockReply, Arg1: int64(c.sendDone)})
 		c.sendW = 0
 		c.sendDone = 0
+		s.ctx.EndWork(c.sendCtx, 0)
+		c.sendCtx = obs.SpanContext{}
 	}
 	s.trySend(c)
 }
@@ -547,6 +581,12 @@ func (s *Server) abortConn(c *tcpConn, errCode int64) {
 		s.reply(c.sendW, kernel.Message{Type: proto.SockReply, Arg1: errCode})
 		c.sendW = 0
 	}
+	s.ctx.EndWork(c.connectCtx, 1)
+	s.ctx.EndWork(c.recvCtx, 1)
+	s.ctx.EndWork(c.sendCtx, 1)
+	c.connectCtx = obs.SpanContext{}
+	c.recvCtx = obs.SpanContext{}
+	c.sendCtx = obs.SpanContext{}
 	c.state = stateClosed
 	c.retxAt = 0
 	s.removeConn(c)

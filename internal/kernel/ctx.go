@@ -58,16 +58,50 @@ func (c *Ctx) TryReceive(from Endpoint) (Message, bool) {
 // replying the call fails with ErrSrcDied (or ErrDeadDst if it died before
 // accepting the request), which is exactly the condition the file server
 // treats as "mark request pending and await the restart" (paper §6.2).
+//
+// When span tracing is on, the round trip becomes a "call:<dst-label>"
+// span under the caller's ambient context: it travels in the request so
+// the callee's work nests under it, ends when the reply lands, and is
+// orphaned when the callee's death aborts the rendezvous — the per-request
+// crash marker the recovery stories hang off. The caller's ambient context
+// is restored afterwards (the reply's context must not leak into the
+// caller's next, unrelated call).
 func (c *Ctx) SendRec(dst Endpoint, msg Message) (Message, error) {
 	start := c.k.env.Now()
-	if err := c.k.send(c.e, dst, msg); err != nil {
-		return Message{}, err
+	var sc, ambient obs.SpanContext
+	var dstLabel string
+	traced := c.k.obs.On(obs.KindSpanBegin)
+	if traced {
+		ambient = c.e.traceCtx
+		dstLabel = c.k.labelFor(dst)
+		sc = c.k.obs.StartSpan(c.e.label, "call:"+dstLabel, ambient)
+		msg.Trace = sc
+		c.e.openSpans = append(c.e.openSpans, sc)
 	}
-	reply, err := c.k.receive(c.e, dst)
+	reply, err := c.sendRec(dst, msg)
+	if traced {
+		switch err {
+		case nil:
+			c.k.obs.EndSpan(c.e.label, sc, 0)
+		case ErrDeadDst, ErrSrcDied:
+			c.k.obs.OrphanSpan(c.e.label, sc, "crash:"+dstLabel)
+		default:
+			c.k.obs.EndSpan(c.e.label, sc, 1)
+		}
+		c.dropOpenSpan(sc)
+		c.e.traceCtx = ambient
+	}
 	if err == nil {
 		c.k.obs.ObserveSendRec(c.k.env.Now() - start)
 	}
 	return reply, err
+}
+
+func (c *Ctx) sendRec(dst Endpoint, msg Message) (Message, error) {
+	if err := c.k.send(c.e, dst, msg); err != nil {
+		return Message{}, err
+	}
+	return c.k.receive(c.e, dst)
 }
 
 // Notify posts a nonblocking notification to dst.
@@ -135,6 +169,12 @@ func (c *Ctx) Spawn(label string, priv Privileges, body func(*Ctx)) (Endpoint, e
 	if err != nil {
 		return None, err
 	}
+	// The child starts under the spawner's causal context: an instance the
+	// reincarnation server spawns during a recovery episode roots its
+	// initialization under that episode's span.
+	if c.k.obs != nil {
+		nc.e.traceCtx = c.e.traceCtx
+	}
 	return nc.e.ep, nil
 }
 
@@ -199,3 +239,74 @@ func (c *Ctx) MayComplain() bool { return c.e.priv.MayComplain }
 // (None when down). System processes normally use the data store for this;
 // the kernel-level lookup backs the data store itself and tests.
 func (c *Ctx) LookupLabel(label string) Endpoint { return c.k.LookupLabel(label) }
+
+// ---------------------------------------------------------------------
+// Causal tracing
+
+// TraceCtx returns the process's current ambient causal context: the
+// context of the last non-notification message it received (or the span
+// it most recently opened with BeginWork). Zero when tracing is off.
+func (c *Ctx) TraceCtx() obs.SpanContext { return c.e.traceCtx }
+
+// SetTraceCtx replaces the ambient causal context; subsequent sends are
+// stamped with it. Servers use this to bind their worker loop to a
+// specific request's context.
+func (c *Ctx) SetTraceCtx(sc obs.SpanContext) { c.e.traceCtx = sc }
+
+// BeginWork opens a span for a unit of work this process performs on
+// behalf of parent (pass the zero context to root a fresh trace), makes
+// it the ambient context, and registers it with the kernel: if the
+// process dies before EndWork the kernel orphans the span in reap, which
+// is how crash-interrupted requests become visible in traces. Returns
+// the zero context (all the paired calls no-op) when tracing is off.
+func (c *Ctx) BeginWork(name string, parent obs.SpanContext) obs.SpanContext {
+	sc := c.k.obs.StartSpan(c.e.label, name, parent)
+	if !sc.Valid() {
+		return sc
+	}
+	c.e.openSpans = append(c.e.openSpans, sc)
+	c.e.traceCtx = sc
+	return sc
+}
+
+// EndWork closes a span opened by BeginWork with the given status and
+// restores the ambient context to the enclosing open span, if any.
+func (c *Ctx) EndWork(sc obs.SpanContext, status int64) {
+	if !sc.Valid() {
+		return
+	}
+	c.k.obs.EndSpan(c.e.label, sc, status)
+	c.finishWork(sc)
+}
+
+// OrphanWork terminates a span opened by BeginWork as orphaned-by-crash:
+// the work can never complete because a component it depended on died.
+// The caller keeps running (unlike kernel-side orphaning in reap) — the
+// file server uses this for block requests lost to a driver crash before
+// reissuing them.
+func (c *Ctx) OrphanWork(sc obs.SpanContext, reason string) {
+	if !sc.Valid() {
+		return
+	}
+	c.k.obs.OrphanSpan(c.e.label, sc, reason)
+	c.finishWork(sc)
+}
+
+func (c *Ctx) finishWork(sc obs.SpanContext) {
+	c.dropOpenSpan(sc)
+	if n := len(c.e.openSpans); n > 0 {
+		c.e.traceCtx = c.e.openSpans[n-1]
+	} else {
+		c.e.traceCtx = obs.SpanContext{}
+	}
+}
+
+func (c *Ctx) dropOpenSpan(sc obs.SpanContext) {
+	open := c.e.openSpans
+	for i := len(open) - 1; i >= 0; i-- {
+		if open[i] == sc {
+			c.e.openSpans = append(open[:i], open[i+1:]...)
+			return
+		}
+	}
+}

@@ -34,7 +34,12 @@ func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
 	if !e.priv.allowsIPCTo(d.label) {
 		return ErrNotAllowed
 	}
-	k.obs.Emit(obs.KindIPCSend, e.label, d.label, int64(msg.Type), 0)
+	if k.obs != nil {
+		if !msg.Trace.Valid() {
+			msg.Trace = e.traceCtx
+		}
+		k.obs.EmitCtx(obs.KindIPCSend, e.label, d.label, int64(msg.Type), 0, msg.Trace)
+	}
 	msg.Source = e.ep
 	if d.recvWait && (d.recvFrom == Any || d.recvFrom == e.ep) {
 		d.recvWait = false
@@ -57,15 +62,23 @@ func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
 }
 
 // receive implements the blocking receive for e, wrapping the inner
-// receive with trace emission: every delivered message becomes an
-// ipc.recv event, every death-abort an ipc.abort.
+// receive with trace-context adoption and trace emission: every
+// delivered message becomes an ipc.recv event, every death-abort an
+// ipc.abort, and the receiver adopts the message's causal context as its
+// ambient context (notifications never carry one, so they cannot clobber
+// a context a driver is working under).
 func (k *Kernel) receive(e *procEntry, from Endpoint) (Message, error) {
 	m, err := k.receiveInner(e, from)
-	if k.obs.On(obs.KindIPCRecv) {
-		if err != nil {
-			k.obs.Emit(obs.KindIPCAbort, e.label, k.labelFor(from), 0, 1)
-		} else {
-			k.obs.Emit(obs.KindIPCRecv, e.label, k.labelFor(m.Source), int64(m.Type), 0)
+	if k.obs != nil {
+		if err == nil && m.Type != MsgNotify {
+			e.traceCtx = m.Trace
+		}
+		if k.obs.On(obs.KindIPCRecv) {
+			if err != nil {
+				k.obs.Emit(obs.KindIPCAbort, e.label, k.labelFor(from), 0, 1)
+			} else {
+				k.obs.EmitCtx(obs.KindIPCRecv, e.label, k.labelFor(m.Source), int64(m.Type), 0, m.Trace)
+			}
 		}
 	}
 	return m, err
@@ -161,8 +174,17 @@ func (e *procEntry) takeNotification(from Endpoint) (Message, bool) {
 // tryReceive is the nonblocking receive (MINIX's RECEIVE with the
 // non-blocking flag): it returns a matching pending notification, queued
 // async message, or blocked sender's message if one exists, and reports
-// false otherwise.
+// false otherwise. Like receive, it adopts the delivered message's causal
+// context.
 func (k *Kernel) tryReceive(e *procEntry, from Endpoint) (Message, bool) {
+	m, ok := k.tryReceiveInner(e, from)
+	if ok && k.obs != nil && m.Type != MsgNotify {
+		e.traceCtx = m.Trace
+	}
+	return m, ok
+}
+
+func (k *Kernel) tryReceiveInner(e *procEntry, from Endpoint) (Message, bool) {
 	if !e.alive {
 		return Message{}, false
 	}
@@ -258,7 +280,12 @@ func (k *Kernel) asyncSend(e *procEntry, dst Endpoint, msg Message) error {
 	if !e.priv.allowsIPCTo(d.label) {
 		return ErrNotAllowed
 	}
-	k.obs.Emit(obs.KindIPCSend, e.label, d.label, int64(msg.Type), 1)
+	if k.obs != nil {
+		if !msg.Trace.Valid() {
+			msg.Trace = e.traceCtx
+		}
+		k.obs.EmitCtx(obs.KindIPCSend, e.label, d.label, int64(msg.Type), 1, msg.Trace)
+	}
 	msg.Source = e.ep
 	if d.recvWait && (d.recvFrom == Any || d.recvFrom == e.ep) {
 		d.recvWait = false

@@ -168,6 +168,10 @@ type procEntry struct {
 	nextGrant GrantID
 
 	alarm *sim.Event
+
+	// Causal-tracing state (only touched when the kernel has a recorder).
+	traceCtx  obs.SpanContext   // ambient context stamped on outgoing sends
+	openSpans []obs.SpanContext // spans opened via Ctx, orphaned if we die
 }
 
 // wake values delivered through sim.Proc.Park.
@@ -308,6 +312,17 @@ func (k *Kernel) reap(e *procEntry, status int) {
 	if e.cause.Kind == CauseException {
 		k.obs.Emit(obs.KindProcException, e.label, e.cause.Exc.String(), int64(e.ep), 0)
 	}
+	// Spans the dead process opened and never closed can never complete:
+	// terminate them as orphaned-by-crash, newest first, so a trace reader
+	// sees exactly which in-flight work the death interrupted.
+	if k.obs != nil && len(e.openSpans) > 0 {
+		reason := "crash:" + e.cause.String()
+		for i := len(e.openSpans) - 1; i >= 0; i-- {
+			k.obs.OrphanSpan(e.label, e.openSpans[i], reason)
+		}
+		e.openSpans = nil
+	}
+	e.traceCtx = obs.SpanContext{}
 
 	if e.alarm != nil {
 		e.alarm.Cancel()

@@ -1,5 +1,7 @@
 package kernel
 
+import "resilientos/internal/obs"
+
 // Message is the fixed-shape IPC unit, modeled on MINIX's small fixed-size
 // messages: a type tag, a few scalar arguments, an optional grant reference
 // for bulk data, and a small inline payload used where real MINIX would use
@@ -8,6 +10,14 @@ package kernel
 type Message struct {
 	Source Endpoint
 	Type   int32
+
+	// Trace is the causal trace context the message carries. When
+	// observability is on, the kernel stamps the sender's ambient context
+	// here at Send (unless the sender set one explicitly) and the receiver
+	// adopts it as its own ambient context on delivery; notifications are
+	// always context-free. With a nil recorder the field stays zero and
+	// costs nothing.
+	Trace obs.SpanContext
 
 	// Scalar arguments; meaning depends on Type (like MINIX's m1_i1 etc.).
 	Arg1, Arg2, Arg3, Arg4 int64

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"resilientos/internal/kernel"
+	"resilientos/internal/obs"
 	"resilientos/internal/proto"
 )
 
@@ -40,8 +41,42 @@ func errCode(err error) int64 {
 	}
 }
 
-// serve dispatches one file-system request and replies.
+// fsOpName names a file-system request type for trace spans.
+func fsOpName(typ int32) string {
+	switch typ {
+	case proto.FSOpen:
+		return "open"
+	case proto.FSStat:
+		return "stat"
+	case proto.FSCreate:
+		return "create"
+	case proto.FSMkdir:
+		return "mkdir"
+	case proto.FSRead:
+		return "read"
+	case proto.FSWrite:
+		return "write"
+	case proto.FSUnlink:
+		return "unlink"
+	case proto.FSReaddir:
+		return "readdir"
+	case proto.FSSync:
+		return "sync"
+	default:
+		return "badcall"
+	}
+}
+
+// serve dispatches one file-system request and replies. The whole request
+// runs as a span under the caller's context, so block-driver calls (and
+// reissues after a driver crash) nest under the user-visible operation.
 func (s *Server) serve(m kernel.Message) {
+	sc := s.ctx.BeginWork("fs."+fsOpName(m.Type), m.Trace)
+	status := s.serveInner(m, sc)
+	s.ctx.EndWork(sc, status)
+}
+
+func (s *Server) serveInner(m kernel.Message, sc obs.SpanContext) int64 {
 	if s.sb == nil {
 		// Not mounted yet (driver still coming up at boot): the volume
 		// appears shortly; make the caller retry.
@@ -52,11 +87,11 @@ func (s *Server) serve(m kernel.Message) {
 			s.mount()
 		}
 		if s.sb == nil {
-			_ = s.ctx.Send(m.Source, kernel.Message{Type: proto.FSReply, Arg1: proto.ErrAgain})
-			return
+			_ = s.ctx.Send(m.Source, kernel.Message{Type: proto.FSReply, Arg1: proto.ErrAgain, Trace: sc})
+			return 1
 		}
 	}
-	reply := kernel.Message{Type: proto.FSReply}
+	reply := kernel.Message{Type: proto.FSReply, Trace: sc}
 	switch m.Type {
 	case proto.FSOpen, proto.FSStat:
 		ino, in, err := s.lookupPath(m.Name)
@@ -114,6 +149,10 @@ func (s *Server) serve(m kernel.Message) {
 		reply.Arg1 = proto.ErrBadCall
 	}
 	_ = s.ctx.Send(m.Source, reply)
+	if reply.Arg1 < 0 {
+		return 1
+	}
+	return 0
 }
 
 // ---------------------------------------------------------------------

@@ -50,6 +50,11 @@ type Server struct {
 	driverEp kernel.Endpoint
 	driverUp bool
 
+	// episode is the trace context the last driver-recovery announcement
+	// arrived under (the RS recovery episode's trace); the next reissued
+	// request links to it with a "recovered-by" edge.
+	episode obs.SpanContext
+
 	sb    *Superblock
 	cache *blockCache
 
@@ -134,6 +139,7 @@ func (s *Server) onDriverUpdate(m kernel.Message) {
 	if restarted { // [recovery]
 		s.stats.Recoveries++                                                                          // [recovery]
 		s.ctx.Obs().Emit(obs.KindReintegrate, s.ctx.Label(), s.cfg.DriverLabel, int64(s.driverEp), 0) // [recovery]
+		s.episode = m.Trace                                                                           // [recovery]
 	}
 	if s.sb == nil {
 		s.mount()
@@ -161,16 +167,35 @@ func (s *Server) mount() {
 // server blocks until the data store publishes the restarted driver, and
 // the idempotent operation is reissued (§6.2). It only returns once the
 // transfer succeeded (or the volume is impossible, e.g. out of range).
+//
+// Each attempt is its own span under the enclosing request's context: an
+// attempt the driver's death interrupts is orphaned, and the reissue is
+// linked back to it ("retry-of") and to the RS recovery episode that
+// revived the driver ("recovered-by") — the causal arc the paper's
+// transparent-recovery claim is about.
 func (s *Server) rawIO(write bool, firstSector int64, count int64, buf []byte) error {
 	typ := proto.BdevRead
+	opName := "bdev.read"
 	access := kernel.GrantWrite
 	if write {
 		typ = proto.BdevWrite
+		opName = "bdev.write"
 		access = kernel.GrantRead
 	}
+	reqCtx := s.ctx.TraceCtx()
+	var orphaned obs.SpanContext // the last crash-interrupted attempt
 	for attempt := 0; ; attempt++ {
 		if !s.driverUp { // [recovery]
 			s.awaitDriver() // [recovery]
+		}
+		sc := s.ctx.BeginWork(opName, reqCtx)
+		if orphaned.Valid() { // [recovery]
+			s.ctx.Obs().LinkSpan(s.ctx.Label(), sc, orphaned, "retry-of") // [recovery]
+			orphaned = obs.SpanContext{}                                  // [recovery]
+			if s.episode.Valid() {                                        // [recovery]
+				s.ctx.Obs().LinkSpan(s.ctx.Label(), sc, s.episode, "recovered-by") // [recovery]
+				s.episode = obs.SpanContext{}                                      // [recovery]
+			} // [recovery]
 		}
 		grant := s.ctx.CreateGrant(buf, access, s.driverEp)
 		s.stats.DriverCalls++
@@ -185,27 +210,35 @@ func (s *Server) rawIO(write bool, firstSector int64, count int64, buf []byte) e
 		case err != nil:
 			// The rendezvous was aborted: the driver died holding our
 			// request. Mark pending and wait for the restart.
-			s.stats.DriverFailures++ // [recovery]
-			s.driverUp = false       // [recovery]
-			s.stats.Reissues++       // [recovery]
-			continue                 // [recovery]
+			s.ctx.OrphanWork(sc, "crash:"+s.cfg.DriverLabel) // [recovery]
+			orphaned = sc                                    // [recovery]
+			s.stats.DriverFailures++                         // [recovery]
+			s.driverUp = false                               // [recovery]
+			s.stats.Reissues++                               // [recovery]
+			continue                                         // [recovery]
 		case reply.Type != proto.BdevReply:
 			// Protocol violation: complain to the reincarnation server
 			// (defect class 5) and retry against the replacement.
-			s.complain()             // [recovery]
-			s.stats.DriverFailures++ // [recovery]
-			s.driverUp = false       // [recovery]
-			continue                 // [recovery]
+			s.ctx.OrphanWork(sc, "misbehavior:"+s.cfg.DriverLabel) // [recovery]
+			orphaned = sc                                          // [recovery]
+			s.complain()                                           // [recovery]
+			s.stats.DriverFailures++                               // [recovery]
+			s.driverUp = false                                     // [recovery]
+			continue                                               // [recovery]
 		case reply.Arg1 == proto.ErrIO:
 			// The driver survived but the transfer failed (e.g. it was
 			// restarted mid-command and lost the device state); retry.
+			s.ctx.EndWork(sc, 1)     // [recovery]
+			orphaned = sc            // [recovery]
 			s.stats.DriverFailures++ // [recovery]
 			s.stats.Reissues++       // [recovery]
 			continue                 // [recovery]
 		case reply.Arg1 < 0:
+			s.ctx.EndWork(sc, 1)
 			return errDriverDown
 		}
 		s.bytes.Add(int64(len(buf)))
+		s.ctx.EndWork(sc, 0)
 		return nil
 	}
 }

@@ -1,0 +1,136 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"resilientos/internal/obs"
+	"resilientos/internal/sim"
+)
+
+// fixture builds a small two-component trace with a crash-orphaned span,
+// a retry link, and a matched IPC send/recv pair.
+func fixture() []obs.Event {
+	at := func(t int64, k obs.Kind, comp, aux string, v1, tr, sp, pa int64) obs.Event {
+		return obs.Event{T: sim.Time(t), Kind: k, Comp: comp, Aux: aux, V1: v1, Trace: tr, Span: sp, Parent: pa}
+	}
+	return []obs.Event{
+		at(1000, obs.KindSpanBegin, "vfs", "vfs.read", 0, 1, 1, 0),
+		at(1500, obs.KindSpanBegin, "mfs", "bdev.read", 0, 1, 2, 1),
+		at(1600, obs.KindIPCSend, "mfs", "disk", 0, 1, 2, 0),
+		at(1700, obs.KindIPCRecv, "disk", "mfs", 0, 1, 2, 0),
+		at(2000, obs.KindDefect, "rs", "exception(MMU)", 0, 0, 0, 0),
+		at(2100, obs.KindSpanOrphan, "mfs", "crash:disk", 0, 1, 2, 0),
+		at(3000, obs.KindSpanBegin, "mfs", "bdev.read", 0, 1, 3, 1),
+		at(3000, obs.KindSpanLink, "mfs", "retry-of", 0, 1, 3, 2),
+		at(3500, obs.KindSpanEnd, "mfs", "", 0, 1, 3, 0),
+		at(4000, obs.KindSpanEnd, "vfs", "", 0, 1, 1, 0),
+	}
+}
+
+func TestExportIsValidJSON(t *testing.T) {
+	out := Bytes(fixture())
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var metas, slices, instants, flows int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			metas++
+		case "X":
+			slices++
+		case "i":
+			instants++
+		case "s", "f":
+			flows++
+		}
+	}
+	// Tracks: vfs, mfs, disk (IPC recv side has no span, so no track) —
+	// disk owns no span and no instant, rs owns the defect instant. Plus
+	// the process_name meta for the single segment.
+	if metas != 4 { // process + mfs, rs, vfs
+		t.Fatalf("metas = %d, want 4", metas)
+	}
+	if slices != 3 {
+		t.Fatalf("slices = %d, want 3", slices)
+	}
+	if instants != 1 {
+		t.Fatalf("instants = %d, want 1", instants)
+	}
+	// One retry-of link = 2 halves; the IPC pair's recv comp ("disk") has
+	// no track, so it is skipped.
+	if flows != 2 {
+		t.Fatalf("flow halves = %d, want 2", flows)
+	}
+	if !strings.Contains(string(out), `"orphaned":"crash:disk"`) {
+		t.Fatalf("orphaned span not annotated:\n%s", out)
+	}
+}
+
+// TestExportSegmentsPerRun feeds two mark-delimited runs whose span IDs
+// collide (each experiment run boots a fresh recorder) and checks each
+// run becomes its own Perfetto process instead of being merged.
+func TestExportSegmentsPerRun(t *testing.T) {
+	mark := func(aux string) obs.Event {
+		return obs.Event{Kind: obs.KindMark, Comp: "run", Aux: aux}
+	}
+	var events []obs.Event
+	events = append(events, mark("run interval=0"))
+	events = append(events, fixture()...)
+	events = append(events, mark("run interval=1s"))
+	events = append(events, fixture()...)
+
+	out := Bytes(events)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	slicesByPid := map[float64]int{}
+	procNames := map[float64]string{}
+	for _, e := range doc.TraceEvents {
+		pid, _ := e["pid"].(float64)
+		switch {
+		case e["ph"] == "X":
+			slicesByPid[pid]++
+		case e["name"] == "process_name":
+			args := e["args"].(map[string]any)
+			procNames[pid] = args["name"].(string)
+		}
+	}
+	if slicesByPid[1] != 3 || slicesByPid[2] != 3 {
+		t.Fatalf("slices per process = %v, want 3 in each of pid 1 and 2", slicesByPid)
+	}
+	if procNames[1] != "run interval=0" || procNames[2] != "run interval=1s" {
+		t.Fatalf("process names = %v", procNames)
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	a := Bytes(fixture())
+	b := Bytes(fixture())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two exports of the same events differ")
+	}
+}
+
+func TestMicrosFraction(t *testing.T) {
+	got := string(appendMicros(nil, sim.Time(1234567)))
+	if got != "1234.567" {
+		t.Fatalf("appendMicros(1234567ns) = %q, want 1234.567", got)
+	}
+	if got := string(appendMicros(nil, sim.Time(5000))); got != "5" {
+		t.Fatalf("appendMicros(5000ns) = %q, want 5", got)
+	}
+}

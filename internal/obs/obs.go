@@ -70,9 +70,26 @@ const (
 	// KindPublish is a data-store naming change (Aux = "publish" or
 	// "withdraw", V1 = endpoint).
 	KindPublish
+	// KindSpanBegin opens a causal span (Aux = span name; the event's
+	// Trace/Span/Parent fields identify it in the span tree).
+	KindSpanBegin
+	// KindSpanEnd closes a span normally (V1 = status, 0 = ok).
+	KindSpanEnd
+	// KindSpanOrphan marks a span that can never complete because a crash
+	// interrupted it (Aux = reason, e.g. "crash:exception(MMU)"). A span
+	// gets exactly one terminal event: end or orphan, never both.
+	KindSpanOrphan
+	// KindSpanLink records a causal edge between spans in addition to the
+	// parent/child tree: Span is the successor, Parent the predecessor,
+	// Aux the edge kind ("retry-of", "recovered-by").
+	KindSpanLink
 
 	kindMax
 )
+
+// SpanKinds lists the causal-tracing kinds; disabling all of them turns
+// span tracking off wholesale (StartSpan then returns the zero context).
+var SpanKinds = []Kind{KindSpanBegin, KindSpanEnd, KindSpanOrphan, KindSpanLink}
 
 var kindNames = [...]string{
 	KindMark:          "mark",
@@ -90,6 +107,10 @@ var kindNames = [...]string{
 	KindReintegrate:   "reintegrate",
 	KindGiveUp:        "giveup",
 	KindPublish:       "publish",
+	KindSpanBegin:     "span.begin",
+	KindSpanEnd:       "span.end",
+	KindSpanOrphan:    "span.orphan",
+	KindSpanLink:      "span.link",
 }
 
 func (k Kind) String() string {
@@ -120,7 +141,8 @@ func Kinds() []Kind {
 
 // Event is one structured trace record. T is virtual time; Comp is the
 // stable component label the event is about; Aux and V1/V2 carry
-// kind-specific detail (see the Kind constants).
+// kind-specific detail (see the Kind constants). Trace/Span/Parent carry
+// causal-tracing context and are zero for context-free events.
 type Event struct {
 	T    sim.Time
 	Kind Kind
@@ -128,6 +150,13 @@ type Event struct {
 	Aux  string
 	V1   int64
 	V2   int64
+
+	// Causal trace context: the trace this event belongs to, the span it
+	// is about, and — for span.begin — the parent span (0 = root), or —
+	// for span.link — the predecessor span.
+	Trace  int64
+	Span   int64
+	Parent int64
 }
 
 // Sink receives every event the recorder emits. Sinks run synchronously in
@@ -148,6 +177,11 @@ type Recorder struct {
 
 	ipcRTT *Histogram // virtual-time SendRec round trips
 	recLat *Histogram // defect -> reintegration recovery latency
+
+	// Causal-tracing ID allocators. The scheduler is single-threaded, so
+	// plain counters are deterministic for a fixed seed+workload.
+	nextTrace int64
+	nextSpan  int64
 }
 
 // NewRecorder creates a recorder with all event kinds enabled, a fresh
@@ -209,6 +243,32 @@ func (r *Recorder) Emit(k Kind, comp, aux string, v1, v2 int64) {
 		return
 	}
 	e := Event{Kind: k, Comp: comp, Aux: aux, V1: v1, V2: v2}
+	if r.clock != nil {
+		e.T = r.clock()
+	}
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+}
+
+// EmitCtx is Emit with a trace context attached, for events that happen
+// *within* a span (IPC sends/receives carrying a context). Nil-safe.
+func (r *Recorder) EmitCtx(k Kind, comp, aux string, v1, v2 int64, sc SpanContext) {
+	if r == nil || r.mask&(1<<uint(k)) == 0 {
+		return
+	}
+	e := Event{Kind: k, Comp: comp, Aux: aux, V1: v1, V2: v2, Trace: sc.Trace, Span: sc.Span}
+	if r.clock != nil {
+		e.T = r.clock()
+	}
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+}
+
+// emitSpan publishes a span-lifecycle event with full trace fields.
+func (r *Recorder) emitSpan(k Kind, comp, aux string, v1 int64, tr, sp, pa int64) {
+	e := Event{Kind: k, Comp: comp, Aux: aux, V1: v1, Trace: tr, Span: sp, Parent: pa}
 	if r.clock != nil {
 		e.T = r.clock()
 	}
@@ -292,6 +352,29 @@ func (s *RingSink) Events() []Event {
 // Dropped reports how many events were evicted for lack of room.
 func (s *RingSink) Dropped() int { return s.dropped }
 
+// DropMarkComp / DropMarkAux identify the synthetic mark event that
+// EventsWithDropMark prepends to a truncated ring, so trace readers
+// (cmd/tracestat) can tell a truncated trace from a complete one.
+const (
+	DropMarkComp = "obs"
+	DropMarkAux  = "dropped"
+)
+
+// EventsWithDropMark returns the buffered events, oldest first, preceded
+// by a mark event recording how many older events were evicted (V1 =
+// count). With no drops it is identical to Events.
+func (s *RingSink) EventsWithDropMark() []Event {
+	evs := s.Events()
+	if s.dropped == 0 {
+		return evs
+	}
+	mark := Event{Kind: KindMark, Comp: DropMarkComp, Aux: DropMarkAux, V1: int64(s.dropped)}
+	if len(evs) > 0 {
+		mark.T = evs[0].T
+	}
+	return append([]Event{mark}, evs...)
+}
+
 // SliceSink appends every event to an unbounded slice (experiments use it
 // to post-process a whole run's trace).
 type SliceSink struct {
@@ -353,7 +436,9 @@ func (s *JSONLSink) Emit(e Event) {
 func (s *JSONLSink) Err() error { return s.err }
 
 // AppendJSONL appends e's canonical JSONL encoding (including the trailing
-// newline) to dst. Field order is fixed: t, kind, comp, aux, v1, v2.
+// newline) to dst. Field order is fixed: t, kind, comp, aux, v1, v2, then
+// — only when the event carries trace context — tr, sp, pa. Context-free
+// events keep the exact byte encoding of earlier trace formats.
 func AppendJSONL(dst []byte, e Event) []byte {
 	dst = append(dst, `{"t":`...)
 	dst = strconv.AppendInt(dst, int64(e.T), 10)
@@ -367,6 +452,14 @@ func AppendJSONL(dst []byte, e Event) []byte {
 	dst = strconv.AppendInt(dst, e.V1, 10)
 	dst = append(dst, `,"v2":`...)
 	dst = strconv.AppendInt(dst, e.V2, 10)
+	if e.Trace != 0 || e.Span != 0 || e.Parent != 0 {
+		dst = append(dst, `,"tr":`...)
+		dst = strconv.AppendInt(dst, e.Trace, 10)
+		dst = append(dst, `,"sp":`...)
+		dst = strconv.AppendInt(dst, e.Span, 10)
+		dst = append(dst, `,"pa":`...)
+		dst = strconv.AppendInt(dst, e.Parent, 10)
+	}
 	dst = append(dst, '}', '\n')
 	return dst
 }
@@ -379,6 +472,9 @@ type jsonlRecord struct {
 	Aux  string `json:"aux"`
 	V1   int64  `json:"v1"`
 	V2   int64  `json:"v2"`
+	Tr   int64  `json:"tr"`
+	Sp   int64  `json:"sp"`
+	Pa   int64  `json:"pa"`
 }
 
 // ParseJSONL reads a JSONL trace back into events. Blank lines are
@@ -405,6 +501,7 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 		out = append(out, Event{
 			T: sim.Time(rec.T), Kind: k, Comp: rec.Comp, Aux: rec.Aux,
 			V1: rec.V1, V2: rec.V2,
+			Trace: rec.Tr, Span: rec.Sp, Parent: rec.Pa,
 		})
 	}
 	if err := sc.Err(); err != nil {

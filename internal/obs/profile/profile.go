@@ -1,0 +1,217 @@
+// Package profile is the virtual-time profiler: it folds a trace's span
+// forest into per-component time attribution. Because timestamps are the
+// deterministic simulation clock, the numbers are exact — no sampling —
+// and identical across runs of the same seed+workload.
+//
+// Attribution splits each span's extent three ways:
+//
+//   - self (compute): the span's duration minus its children's — time the
+//     component itself spent on the request.
+//   - blocked: self time of "call:*" spans — time spent blocked in an IPC
+//     rendezvous waiting for another component.
+//   - dead: for each "retry-of" link whose predecessor was orphaned, the
+//     gap between the orphan's terminal and the retry's start — time the
+//     request spent dead because the serving component was being
+//     recovered. Charged to the component that owned the orphaned span.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"resilientos/internal/obs"
+	"resilientos/internal/sim"
+)
+
+// Row is one aggregated (component, span name) profile entry.
+type Row struct {
+	Comp  string
+	Name  string
+	Count int      // spans aggregated
+	Total sim.Time // wall extent including children
+	Self  sim.Time // extent minus children (the component's own share)
+}
+
+// PhaseTimes is one component's time split by phase.
+type PhaseTimes struct {
+	Compute sim.Time // self time of ordinary spans
+	Blocked sim.Time // self time of call:* spans (blocked in rendezvous)
+	Dead    sim.Time // orphan -> retry gaps (dead during recovery)
+}
+
+// Profile is the folded result.
+type Profile struct {
+	Rows   []Row                 // by (comp, name), self-time descending
+	Phases map[string]PhaseTimes // comp -> phase split
+	Spans  int                   // terminated spans profiled
+	Open   int                   // unterminated spans skipped
+
+	forests []*obs.Forest // one per mark-delimited segment
+}
+
+// Build folds events into a profile. Span IDs are only unique within one
+// mark-delimited segment (each experiment run boots a fresh recorder), so
+// the forest is built per segment and the aggregation spans all of them.
+func Build(events []obs.Event) *Profile {
+	p := &Profile{Phases: make(map[string]PhaseTimes)}
+	rows := make(map[[2]string]*Row)
+	for _, seg := range obs.Segments(events) {
+		f := obs.BuildForest(seg)
+		p.forests = append(p.forests, f)
+		p.fold(f, rows)
+	}
+	p.Rows = make([]Row, 0, len(rows))
+	for _, r := range rows {
+		p.Rows = append(p.Rows, *r)
+	}
+	sort.Slice(p.Rows, func(i, j int) bool {
+		a, b := p.Rows[i], p.Rows[j]
+		if a.Self != b.Self {
+			return a.Self > b.Self
+		}
+		if a.Comp != b.Comp {
+			return a.Comp < b.Comp
+		}
+		return a.Name < b.Name
+	})
+	return p
+}
+
+// fold accumulates one segment's forest into the profile.
+func (p *Profile) fold(f *obs.Forest, rows map[[2]string]*Row) {
+	for _, s := range f.ByID {
+		if !s.Terminated() {
+			p.Open++
+			continue
+		}
+		p.Spans++
+		self := selfTime(s)
+		k := [2]string{s.Comp, s.Name}
+		r := rows[k]
+		if r == nil {
+			r = &Row{Comp: s.Comp, Name: s.Name}
+			rows[k] = r
+		}
+		r.Count++
+		r.Total += s.Duration()
+		r.Self += self
+		ph := p.Phases[s.Comp]
+		if strings.HasPrefix(s.Name, "call:") {
+			ph.Blocked += self
+		} else {
+			ph.Compute += self
+		}
+		p.Phases[s.Comp] = ph
+	}
+	// Dead-during-recovery: the orphan -> retry gap, charged to the
+	// component whose request was interrupted.
+	for _, l := range f.Links {
+		if l.Kind != "retry-of" {
+			continue
+		}
+		pred, succ := f.ByID[l.To], f.ByID[l.From]
+		if pred == nil || succ == nil || !pred.Orphaned {
+			continue
+		}
+		if gap := succ.Start - pred.End; gap > 0 {
+			ph := p.Phases[pred.Comp]
+			ph.Dead += gap
+			p.Phases[pred.Comp] = ph
+		}
+	}
+}
+
+// selfTime is a span's duration minus its children's (clamped at 0:
+// asynchronous fan-out can overlap a parent with multiple children).
+func selfTime(s *obs.TraceSpan) sim.Time {
+	d := s.Duration()
+	for _, c := range s.Children {
+		if c.Terminated() {
+			d -= c.Duration()
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Top returns the n largest rows by self time.
+func (p *Profile) Top(n int) []Row {
+	if n > len(p.Rows) {
+		n = len(p.Rows)
+	}
+	return p.Rows[:n]
+}
+
+// Comps returns the profiled components in sorted order.
+func (p *Profile) Comps() []string {
+	out := make([]string, 0, len(p.Phases))
+	for c := range p.Phases {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTable renders the top-n rows and the per-component phase split as
+// a fixed-width table (virtual microseconds).
+func (p *Profile) WriteTable(w io.Writer, n int) {
+	fmt.Fprintf(w, "%-12s %-18s %8s %12s %12s\n", "COMP", "SPAN", "COUNT", "TOTAL(us)", "SELF(us)")
+	for _, r := range p.Top(n) {
+		fmt.Fprintf(w, "%-12s %-18s %8d %12d %12d\n",
+			r.Comp, r.Name, r.Count, int64(r.Total)/1000, int64(r.Self)/1000)
+	}
+	fmt.Fprintf(w, "\n%-12s %12s %12s %12s\n", "COMP", "COMPUTE(us)", "BLOCKED(us)", "DEAD(us)")
+	for _, c := range p.Comps() {
+		ph := p.Phases[c]
+		fmt.Fprintf(w, "%-12s %12d %12d %12d\n",
+			c, int64(ph.Compute)/1000, int64(ph.Blocked)/1000, int64(ph.Dead)/1000)
+	}
+}
+
+// WriteFolded emits the profile in folded-stacks format (one line per
+// unique root->span path, weight = accumulated self time in virtual
+// microseconds), ready for flamegraph.pl or speedscope. Lines are sorted,
+// so output is deterministic.
+func (p *Profile) WriteFolded(w io.Writer) {
+	stacks := make(map[string]int64)
+	for _, f := range p.forests {
+		for _, s := range f.ByID {
+			if !s.Terminated() {
+				continue
+			}
+			self := int64(selfTime(s)) / 1000
+			if self <= 0 {
+				continue
+			}
+			stacks[stackOf(f, s)] += self
+		}
+	}
+	lines := make([]string, 0, len(stacks))
+	for stack, weight := range stacks {
+		lines = append(lines, fmt.Sprintf("%s %d", stack, weight))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// stackOf renders a span's root->self frame path.
+func stackOf(f *obs.Forest, s *obs.TraceSpan) string {
+	var frames []string
+	for cur := s; cur != nil; cur = f.ByID[cur.Parent] {
+		frames = append(frames, cur.Comp+":"+cur.Name)
+		if cur.Parent == 0 || cur.Parent >= cur.ID {
+			break // parent IDs precede children; anything else is malformed
+		}
+	}
+	// Reverse: root first.
+	for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+		frames[i], frames[j] = frames[j], frames[i]
+	}
+	return strings.Join(frames, ";")
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"resilientos/internal/obs"
+	"resilientos/internal/sim"
+)
+
+// fixture: vfs.read [0,10ms] contains call:mfs [1ms,9ms]; the first
+// attempt orphans at 4ms, the retry runs [7ms,9ms] with a retry-of link.
+func fixture() []obs.Event {
+	at := func(t int64, k obs.Kind, comp, aux string, tr, sp, pa int64) obs.Event {
+		return obs.Event{T: sim.Time(t), Kind: k, Comp: comp, Aux: aux, Trace: tr, Span: sp, Parent: pa}
+	}
+	ms := int64(1e6)
+	return []obs.Event{
+		at(0, obs.KindSpanBegin, "app", "vfs.read", 1, 1, 0),
+		at(1*ms, obs.KindSpanBegin, "vfs", "call:mfs", 1, 2, 1),
+		at(2*ms, obs.KindSpanBegin, "mfs", "bdev.read", 1, 3, 2),
+		at(4*ms, obs.KindSpanOrphan, "mfs", "crash:disk", 1, 3, 0),
+		at(7*ms, obs.KindSpanBegin, "mfs", "bdev.read", 1, 4, 2),
+		at(7*ms, obs.KindSpanLink, "mfs", "retry-of", 1, 4, 3),
+		at(9*ms, obs.KindSpanEnd, "mfs", "", 1, 4, 0),
+		at(9*ms, obs.KindSpanEnd, "vfs", "", 1, 2, 0),
+		at(10*ms, obs.KindSpanEnd, "app", "", 1, 1, 0),
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	p := Build(fixture())
+	ms := sim.Time(1e6)
+	if p.Spans != 4 || p.Open != 0 {
+		t.Fatalf("spans=%d open=%d, want 4/0", p.Spans, p.Open)
+	}
+	// app: 10ms total minus 8ms child = 2ms compute.
+	if got := p.Phases["app"].Compute; got != 2*ms {
+		t.Fatalf("app compute = %v, want 2ms", got)
+	}
+	// vfs call:mfs: 8ms minus children (2ms orphan + 2ms retry) = 4ms blocked.
+	if got := p.Phases["vfs"].Blocked; got != 4*ms {
+		t.Fatalf("vfs blocked = %v, want 4ms", got)
+	}
+	// mfs: 2ms (orphaned attempt) + 2ms (retry) compute, 3ms dead
+	// (orphan at 4ms -> retry at 7ms).
+	if got := p.Phases["mfs"].Compute; got != 4*ms {
+		t.Fatalf("mfs compute = %v, want 4ms", got)
+	}
+	if got := p.Phases["mfs"].Dead; got != 3*ms {
+		t.Fatalf("mfs dead = %v, want 3ms", got)
+	}
+}
+
+func TestTopRowsAggregated(t *testing.T) {
+	p := Build(fixture())
+	top := p.Top(1)
+	if len(top) != 1 {
+		t.Fatalf("top(1) = %d rows", len(top))
+	}
+	// mfs bdev.read aggregates both attempts: 2 spans, 4ms total/self.
+	if top[0].Comp != "mfs" || top[0].Name != "bdev.read" || top[0].Count != 2 {
+		t.Fatalf("top row = %+v", top[0])
+	}
+}
+
+// TestSegmentedRunsAggregate feeds two mark-delimited runs with
+// colliding span IDs (each run boots a fresh recorder) and checks the
+// profiler folds each segment independently, then sums.
+func TestSegmentedRunsAggregate(t *testing.T) {
+	mark := obs.Event{Kind: obs.KindMark, Comp: "run", Aux: "run 1"}
+	events := append([]obs.Event{mark}, fixture()...)
+	events = append(events, obs.Event{Kind: obs.KindMark, Comp: "run", Aux: "run 2"})
+	events = append(events, fixture()...)
+
+	p := Build(events)
+	ms := sim.Time(1e6)
+	if p.Spans != 8 || p.Open != 0 {
+		t.Fatalf("spans=%d open=%d, want 8/0", p.Spans, p.Open)
+	}
+	if got := p.Phases["mfs"].Dead; got != 6*ms {
+		t.Fatalf("mfs dead = %v, want 6ms (3ms per run)", got)
+	}
+	if top := p.Top(1); top[0].Count != 4 {
+		t.Fatalf("top row count = %d, want 4 (2 attempts per run)", top[0].Count)
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	p := Build(fixture())
+	var sb strings.Builder
+	p.WriteFolded(&sb)
+	out := sb.String()
+	want := "app:vfs.read 2000\n" +
+		"app:vfs.read;vfs:call:mfs 4000\n" +
+		"app:vfs.read;vfs:call:mfs;mfs:bdev.read 4000\n"
+	if out != want {
+		t.Fatalf("folded stacks:\n%s\nwant:\n%s", out, want)
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import "testing"
+
+func TestSegments(t *testing.T) {
+	mark := Event{Kind: KindMark, Comp: "run"}
+	span := Event{Kind: KindSpanBegin, Comp: "mfs", Trace: 1, Span: 1}
+
+	cases := []struct {
+		name   string
+		events []Event
+		want   []int // events per segment
+	}{
+		{"empty", nil, []int{0}},
+		{"no marks", []Event{span, span}, []int{2}},
+		{"leading mark", []Event{mark, span}, []int{2}},
+		{"two runs", []Event{mark, span, span, mark, span}, []int{3, 2}},
+		{"back-to-back marks", []Event{mark, mark, span}, []int{1, 2}},
+	}
+	for _, tc := range cases {
+		segs := Segments(tc.events)
+		if len(segs) != len(tc.want) {
+			t.Errorf("%s: %d segments, want %d", tc.name, len(segs), len(tc.want))
+			continue
+		}
+		for i, seg := range segs {
+			if len(seg) != tc.want[i] {
+				t.Errorf("%s: segment %d has %d events, want %d", tc.name, i, len(seg), tc.want[i])
+			}
+		}
+	}
+}

@@ -93,22 +93,66 @@ func (s *Server) run(c *kernel.Ctx) {
 			if m.Arg1 != proto.InvalidEndpoint {
 				s.fsEp = kernel.Endpoint(m.Arg1)
 			}
-		case proto.FSOpen:
-			s.open(m, false)
-		case proto.FSCreate:
-			s.open(m, true)
-		case proto.FSClose:
-			s.closeFd(m)
-		case proto.FSRead:
-			s.read(m)
-		case proto.FSWrite:
-			s.write(m)
-		case proto.FSIoctl:
-			s.ioctl(m)
-		case proto.FSStat, proto.FSUnlink, proto.FSMkdir, proto.FSReaddir, proto.FSSync:
-			s.forward(m)
+		case proto.FSOpen, proto.FSCreate, proto.FSClose, proto.FSRead,
+			proto.FSWrite, proto.FSIoctl, proto.FSStat, proto.FSUnlink,
+			proto.FSMkdir, proto.FSReaddir, proto.FSSync:
+			s.dispatch(m)
 		}
 	}
+}
+
+// vfsOpName names a client request type for trace spans.
+func vfsOpName(typ int32) string {
+	switch typ {
+	case proto.FSOpen:
+		return "open"
+	case proto.FSCreate:
+		return "create"
+	case proto.FSClose:
+		return "close"
+	case proto.FSRead:
+		return "read"
+	case proto.FSWrite:
+		return "write"
+	case proto.FSIoctl:
+		return "ioctl"
+	case proto.FSStat:
+		return "stat"
+	case proto.FSUnlink:
+		return "unlink"
+	case proto.FSMkdir:
+		return "mkdir"
+	case proto.FSReaddir:
+		return "readdir"
+	case proto.FSSync:
+		return "sync"
+	default:
+		return "badcall"
+	}
+}
+
+// dispatch runs one client request as a span under the caller's context:
+// the file-server relay (and everything the file server does below it,
+// down to reissued block requests) nests under the user-visible call.
+func (s *Server) dispatch(m kernel.Message) {
+	sc := s.ctx.BeginWork("vfs."+vfsOpName(m.Type), m.Trace)
+	switch m.Type {
+	case proto.FSOpen:
+		s.open(m, false)
+	case proto.FSCreate:
+		s.open(m, true)
+	case proto.FSClose:
+		s.closeFd(m)
+	case proto.FSRead:
+		s.read(m)
+	case proto.FSWrite:
+		s.write(m)
+	case proto.FSIoctl:
+		s.ioctl(m)
+	default:
+		s.forward(m)
+	}
+	s.ctx.EndWork(sc, 0)
 }
 
 func (s *Server) reply(to kernel.Endpoint, m kernel.Message) {

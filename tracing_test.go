@@ -1,0 +1,178 @@
+package resilientos
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resilientos/internal/fi"
+	"resilientos/internal/obs"
+	"resilientos/internal/obs/export"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// causalTraceEvents runs a small fixed network workload under periodic
+// driver kills with the full causal trace (spans, links, IPC edges)
+// captured in memory, and returns the event stream.
+func causalTraceEvents(t *testing.T, seed int64, size int64) []obs.Event {
+	t.Helper()
+	sink := &obs.SliceSink{}
+	rec := obs.NewRecorder(sink)
+	sys := New(Config{
+		Seed:        seed,
+		DisableDisk: true,
+		DisableChar: true,
+		Obs:         rec,
+	})
+	sys.Run(3 * time.Second)
+	sys.ServeFile(80, seed, size)
+	var w WgetResult
+	sys.Wget(DriverRTL8139, 80, seed, size, &w)
+	sys.Every(400*time.Millisecond, func() {
+		if w.Duration == 0 && w.Err == nil {
+			sys.KillDriver(DriverRTL8139)
+		}
+	})
+	sys.Run(2 * time.Minute)
+	if !w.OK {
+		t.Fatalf("wget failed under kills: %d bytes err=%v", w.Bytes, w.Err)
+	}
+	return sink.Events()
+}
+
+// TestPerfettoExportGolden pins the Chrome trace-event export of a fixed
+// seed+workload byte-for-byte against a committed golden file. Any
+// change to span emission, ID allocation, or the export encoding shows
+// up as a diff here. Regenerate with: go test -run PerfettoExportGolden -update
+func TestPerfettoExportGolden(t *testing.T) {
+	got := export.Bytes(causalTraceEvents(t, 11, 1<<20))
+	const golden = "testdata/perfetto_fig7_seed11.json"
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("perfetto export differs from %s (%d vs %d bytes); "+
+			"if the change is intentional, regenerate with -update",
+			golden, len(got), len(want))
+	}
+}
+
+// TestPerfettoExportRunToRun reruns the golden workload from scratch and
+// demands a byte-identical trace.json — the acceptance property that
+// makes exports diffable across commits and machines.
+func TestPerfettoExportRunToRun(t *testing.T) {
+	a := export.Bytes(causalTraceEvents(t, 11, 1<<20))
+	b := export.Bytes(causalTraceEvents(t, 11, 1<<20))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("perfetto export not reproducible across runs: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestSpanTreeWellFormedSWIFI is the property test: across a 64-seed
+// SWIFI sweep against the network driver, every cell's span forest must
+// be structurally well-formed — unique begins, at most one terminal per
+// span, parents that exist and precede their children, one root per
+// trace. Crashed cells must also surface orphaned-by-crash spans
+// somewhere in the sweep (a crash with no request in flight legitimately
+// orphans nothing, so the orphan assertion is aggregate).
+func TestSpanTreeWellFormedSWIFI(t *testing.T) {
+	const seeds = 64
+	var (
+		mu       sync.Mutex
+		crashes  int
+		orphans  int
+		episodes int
+	)
+	t.Run("sweep", func(t *testing.T) {
+		for seed := int64(1); seed <= seeds; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				sink := &obs.SliceSink{}
+				rec := obs.NewRecorder(sink)
+				// Per-frame IPC kinds dominate volume and carry no span
+				// structure; the forest check only needs the span kinds.
+				rec.Disable(obs.KindIPCSend, obs.KindIPCRecv)
+				sys := New(Config{
+					Seed:        seed,
+					DisableDisk: true,
+					DisableChar: true,
+					Obs:         rec,
+				})
+				sys.Run(3 * time.Second)
+				sys.ServeFile(80, seed, 4<<20)
+				var w WgetResult
+				sys.Wget(DriverRTL8139, 80, seed, 4<<20, &w)
+
+				injector := fi.New(sys.Env.Rand())
+				injected, stall := 0, 0
+				for injected < 8 && stall < 400 {
+					sys.Run(50 * time.Millisecond)
+					stall++
+					vm := sys.DriverVM(DriverRTL8139)
+					if vm == nil || sys.RS.ServiceEndpoint(DriverRTL8139) < 0 {
+						continue // down or restarting: nothing to mutate
+					}
+					injector.InjectRandom(vm.Img)
+					injected++
+					stall = 0
+				}
+				sys.Run(10 * time.Second) // let the last crash resolve
+
+				events := sink.Events()
+				forest := obs.BuildForest(events)
+				if problems := forest.Check(); len(problems) > 0 {
+					for _, p := range problems {
+						t.Errorf("span forest: %s", p)
+					}
+				}
+
+				cellCrashes, cellOrphans, cellEpisodes := 0, 0, 0
+				for _, e := range sys.RS.Events() {
+					if e.Label == DriverRTL8139 {
+						cellCrashes++
+					}
+				}
+				for _, e := range events {
+					switch {
+					case e.Kind == obs.KindSpanOrphan:
+						cellOrphans++
+					case e.Kind == obs.KindSpanBegin && strings.HasPrefix(e.Aux, "recover:"):
+						cellEpisodes++
+					}
+				}
+				if cellOrphans > 0 && cellCrashes == 0 {
+					t.Errorf("%d orphaned spans but no crashes", cellOrphans)
+				}
+				mu.Lock()
+				crashes += cellCrashes
+				orphans += cellOrphans
+				episodes += cellEpisodes
+				mu.Unlock()
+			})
+		}
+	})
+	t.Logf("sweep: %d crashes, %d orphaned spans, %d recovery episodes across %d seeds",
+		crashes, orphans, episodes, seeds)
+	if crashes == 0 {
+		t.Fatal("SWIFI sweep produced no crashes — injections not landing")
+	}
+	if orphans == 0 {
+		t.Error("no orphaned-by-crash spans anywhere in the sweep")
+	}
+	if episodes == 0 {
+		t.Error("no recovery-episode spans anywhere in the sweep")
+	}
+}
