@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// -h is documentation, not an error: it must exit 0, unlike bad flags
+// (exit 2) or a tripped gate (exit 1).
+func TestHelp(t *testing.T) {
+	code, err := run([]string{"-h"})
+	if code != 0 || err != nil {
+		t.Fatalf("run(-h) = (%d, %v), want (0, nil)", code, err)
+	}
+	if code, _ := run([]string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("run(bad flag) exit = %d, want 2", code)
+	}
+}

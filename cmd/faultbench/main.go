@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,9 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -247,6 +251,12 @@ func runClassic(faults int, seed int64, hwGate bool) error {
 	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
 	for _, ft := range types {
 		fmt.Printf("  %-20s %d\n", ft, res.ByFault[ft])
+	}
+	// Full recovery is the headline claim; an unrecovered crash must trip
+	// the exit status, not just print. The -hw gate is the one modeled
+	// exception: a deeply confused card is allowed to need host help.
+	if res.GaveUp > 0 && !hwGate {
+		return fmt.Errorf("campaign left %d crash(es) unrecovered", res.GaveUp)
 	}
 	return nil
 }

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"testing"
+)
+
+// Every cmd must answer -h with its flag documentation and a clean exit
+// (main treats flag.ErrHelp as success).
+func TestHelp(t *testing.T) {
+	if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+}

@@ -10,7 +10,12 @@
 // through a bounded buffer that overflowed) is reported as truncated,
 // with the dropped-event count.
 //
+// With no trace-file argument, tracestat runs the experiment itself and
+// summarizes the live event stream, using the same -exp/-seed/-size/
+// -intervals conventions as cmd/throughput:
+//
 //	tracestat fig7.jsonl
+//	tracestat -exp fig7 -seed 11      # run Fig. 7 in-process, no file needed
 //	tracestat -spans fig7.jsonl       # also dump every recovery span
 //	tracestat -comp eth.rtl8139 trace.jsonl
 //	tracestat -kinds span.begin,span.end,span.orphan trace.jsonl
@@ -19,13 +24,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"resilientos"
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/export"
 	"resilientos/internal/obs/profile"
@@ -33,6 +41,9 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -46,20 +57,47 @@ func run(args []string) error {
 	top := fs.Int("top", 10, "rows in the span-profile table (0 disables)")
 	folded := fs.String("folded", "", "write the folded-stacks flamegraph profile to this file")
 	perfetto := fs.String("perfetto", "", "write the Chrome trace-event JSON export to this file")
+	exp := fs.String("exp", "", "with no trace file: run this experiment in-process (fig7 or fig8) and summarize its events")
+	seed := fs.Int64("seed", 1, "simulation seed for an in-process -exp run")
+	sizeMB := fs.Int64("size", 16, "transfer size in MB for an in-process -exp run")
+	intervals := fs.String("intervals", "2", "comma-separated kill intervals in seconds for an in-process -exp run")
+	fs.Usage = func() {
+		w := fs.Output()
+		fmt.Fprintln(w, "usage: tracestat [flags] <trace.jsonl>")
+		fmt.Fprintln(w, "       tracestat [flags] -exp fig7|fig8")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "Summarize a JSONL observability trace: event counts by kind and")
+		fmt.Fprintln(w, "component, the per-component recovery-latency distribution, and the")
+		fmt.Fprintln(w, "causal-span virtual-time profile. Reads the trace from a file, or")
+		fmt.Fprintln(w, "generates one by running a cmd/throughput experiment in-process.")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "flags:")
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracestat [-comp label] [-spans] [-kinds list] [-top n] [-folded out] [-perfetto out] <trace.jsonl>")
-	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	events, err := obs.ParseJSONL(f)
-	if err != nil {
-		return err
+	var events []obs.Event
+	switch {
+	case fs.NArg() == 1 && *exp == "":
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err = obs.ParseJSONL(f)
+		if err != nil {
+			return err
+		}
+	case fs.NArg() == 0 && *exp != "":
+		var err error
+		events, err = generate(*exp, *sizeMB, *seed, *intervals)
+		if err != nil {
+			return err
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("need exactly one of a trace file or -exp")
 	}
 	// A leading ring-sink drop mark means the capture buffer overflowed:
 	// everything downstream describes a truncated trace.
@@ -190,4 +228,38 @@ func run(args []string) error {
 		fmt.Printf("perfetto trace written to %s\n", *perfetto)
 	}
 	return nil
+}
+
+// generate runs a cmd/throughput experiment in-process and returns its
+// event stream, so a trace can be inspected without a capture file.
+func generate(exp string, sizeMB, seed int64, intervals string) ([]obs.Event, error) {
+	var ivs []time.Duration
+	for _, part := range strings.Split(intervals, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		secs, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad interval %q", part)
+		}
+		ivs = append(ivs, time.Duration(secs*float64(time.Second)))
+	}
+	sink := &obs.SliceSink{}
+	var points []resilientos.ThroughputPoint
+	switch exp {
+	case "fig7":
+		points = resilientos.Fig7NetworkRecoveryTrace(sizeMB<<20, ivs, seed, sink)
+	case "fig8":
+		points = resilientos.Fig8DiskRecoveryTrace(sizeMB<<20, ivs, seed, sink)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (want fig7 or fig8)", exp)
+	}
+	for _, p := range points {
+		if !p.OK {
+			return nil, fmt.Errorf("integrity check failed for %v", p.KillInterval)
+		}
+	}
+	fmt.Printf("in-process %s run: %d MB, seed %d, intervals %s\n\n", exp, sizeMB, seed, intervals)
+	return sink.Events(), nil
 }

@@ -1,0 +1,123 @@
+package resilientos
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// figureGoldenConfig is the committed-golden configuration — the same
+// shape `cmd/figures -seed 11` runs, pinned byte-for-byte in testdata.
+func figureGoldenConfig(fig int) FigureConfig {
+	return FigureConfig{Fig: fig, Seed: 11, Interval: 2 * time.Second}
+}
+
+// TestFigureGoldens pins the Fig. 7/8 throughput-curve CSVs for seed 11
+// against the committed goldens and asserts the paper's qualitative
+// shape: every kill produces a visible dip, and the curve recovers to at
+// least 90% of the pre-kill baseline. Regenerate with:
+// go test -run FigureGoldens -update
+func TestFigureGoldens(t *testing.T) {
+	for _, fig := range []int{7, 8} {
+		fig := fig
+		t.Run(fmt.Sprintf("fig%d", fig), func(t *testing.T) {
+			t.Parallel()
+			res := RunFigure(figureGoldenConfig(fig))
+			if res.Violation != nil {
+				t.Fatalf("window series invariant violated: %v", res.Violation)
+			}
+			if !res.OK {
+				t.Fatalf("transfer failed integrity check: %d of %d bytes", res.Bytes, res.Size)
+			}
+			if res.Kills < 2 {
+				t.Fatalf("only %d kills — run too short to show dips", res.Kills)
+			}
+			if len(res.Dips) != res.Kills {
+				t.Fatalf("%d dips for %d kills", len(res.Dips), res.Kills)
+			}
+			for i, d := range res.Dips {
+				if d.DepthPct <= 5 {
+					t.Errorf("dip %d: depth %.1f%% — kill at %v left no visible dip", i, d.DepthPct, d.Kill)
+				}
+				if !d.Truncated && d.RecoveredPct < 90 {
+					t.Errorf("dip %d: recovered to %.1f%% of baseline, want >= 90%%", i, d.RecoveredPct)
+				}
+			}
+			if res.RecoveredPct < 90 {
+				t.Errorf("recovered throughput %.1f%% of baseline, want >= 90%%", res.RecoveredPct)
+			}
+
+			var got bytes.Buffer
+			if err := WriteFigureCSV(&got, res); err != nil {
+				t.Fatal(err)
+			}
+			golden := fmt.Sprintf("testdata/fig%d_seed11.csv", fig)
+			if *updateGolden {
+				if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("curve differs from %s (%d vs %d bytes); "+
+					"if the change is intentional, regenerate with -update",
+					golden, got.Len(), len(want))
+			}
+
+			// The JSON and SVG encoders must be deterministic functions of
+			// the result (no map iteration, no wall clock).
+			var j1, j2, s1, s2 bytes.Buffer
+			if err := WriteFigureJSON(&j1, res); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteFigureJSON(&j2, res); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Error("JSON encoding not deterministic")
+			}
+			if err := WriteFigureSVG(&s1, res); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteFigureSVG(&s2, res); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+				t.Error("SVG encoding not deterministic")
+			}
+			if !strings.HasPrefix(s1.String(), "<svg ") || !strings.HasSuffix(s1.String(), "</svg>\n") {
+				t.Error("SVG render not self-contained")
+			}
+
+			// Summary document sanity.
+			bf := res.BenchFigure(0)
+			if bf.Name != fmt.Sprintf("fig%d", fig) || bf.Kills != res.Kills || !bf.OK {
+				t.Errorf("bench figure summary inconsistent: %+v", bf)
+			}
+		})
+	}
+}
+
+// TestFigureUninterrupted checks the no-kill path: no dips, recovered
+// ratio reported as 100%, and a flat curve at the baseline.
+func TestFigureUninterrupted(t *testing.T) {
+	res := RunFigure(FigureConfig{Fig: 7, Seed: 3, Size: 8 << 20, Interval: 0})
+	if res.Violation != nil {
+		t.Fatalf("window series invariant violated: %v", res.Violation)
+	}
+	if !res.OK || res.Kills != 0 || len(res.Dips) != 0 {
+		t.Fatalf("uninterrupted run: ok=%v kills=%d dips=%d", res.OK, res.Kills, len(res.Dips))
+	}
+	if res.RecoveredPct != 100 {
+		t.Errorf("recovered pct %.1f, want 100 with no dips", res.RecoveredPct)
+	}
+	if res.BaselineMBps <= 0 {
+		t.Errorf("baseline %.2f MB/s", res.BaselineMBps)
+	}
+}

@@ -18,6 +18,7 @@ import (
 const (
 	SchemaThroughput = "resilientos/bench/throughput/v1"
 	SchemaCampaign   = "resilientos/bench/campaign/v1"
+	SchemaFigure     = "resilientos/bench/figure/v1"
 )
 
 // LatencyMs is a recovery-latency distribution in virtual milliseconds.
@@ -60,6 +61,31 @@ type Throughput struct {
 	SizeBytes  int64             `json:"size_bytes"`
 	WallClockS float64           `json:"wall_clock_s"`
 	Points     []ThroughputPoint `json:"points"`
+}
+
+// Figure is the BENCH_fig7.json / BENCH_fig8.json document: the summary
+// of one windowed figure run (cmd/figures), the per-commit shape the
+// bench-regression gate (compare) trends. Virtual-time fields are
+// deterministic for a fixed seed; WallClockS varies by machine.
+type Figure struct {
+	Schema         string    `json:"schema"`
+	Name           string    `json:"name"` // "fig7" or "fig8"
+	Seed           int64     `json:"seed"`
+	SizeBytes      int64     `json:"size_bytes"`
+	KillIntervalS  float64   `json:"kill_interval_s"`
+	Windows        int       `json:"windows"`
+	Kills          int       `json:"kills"`
+	OK             bool      `json:"ok"`
+	MBps           float64   `json:"mbps"`          // end-to-end transfer rate
+	BaselineMBps   float64   `json:"baseline_mbps"` // pre-kill windowed rate
+	MeanMBps       float64   `json:"mean_mbps"`
+	MinMBps        float64   `json:"min_mbps"`
+	Dips           int       `json:"dips"`
+	MeanDipDepth   float64   `json:"mean_dip_depth_pct"`
+	MeanDipWidthMs float64   `json:"mean_dip_width_ms"`
+	RecoveredPct   float64   `json:"recovered_pct"` // post-recovery rate vs baseline
+	Recovery       LatencyMs `json:"recovery"`
+	WallClockS     float64   `json:"wall_clock_s"`
 }
 
 // CampaignFault aggregates one fault type of a SWIFI campaign.

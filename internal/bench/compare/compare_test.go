@@ -1,0 +1,181 @@
+package compare
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientos/internal/bench"
+)
+
+// baseEntry builds a representative history entry with every document
+// kind the gate trends.
+func baseEntry(label string) Entry {
+	return Entry{
+		Label: label,
+		Throughput: &bench.Throughput{
+			Schema: bench.SchemaThroughput, Experiment: "fig7", Seed: 11,
+			Points: []bench.ThroughputPoint{
+				{KillIntervalS: 0, MBps: 10.8, OK: true},
+				{KillIntervalS: 2, MBps: 9.5, OK: true,
+					Recovery: bench.LatencyMs{Count: 3, P95Ms: 120}},
+			},
+		},
+		Campaign: &bench.Campaign{
+			Schema: bench.SchemaCampaign, RecoveryRatePct: 99.9,
+		},
+		Figures: []bench.Figure{{
+			Schema: bench.SchemaFigure, Name: "fig7", Seed: 11, OK: true,
+			BaselineMBps: 11.3, MeanMBps: 10.2, RecoveredPct: 100,
+			Dips: 3, MeanDipWidthMs: 1000,
+			Recovery: bench.LatencyMs{Count: 3, P95Ms: 120},
+		}},
+	}
+}
+
+func TestDiffUnchangedPasses(t *testing.T) {
+	r := Diff(baseEntry("a"), baseEntry("b"), DefaultThresholds)
+	if got := r.Worst(); got != OK {
+		var buf bytes.Buffer
+		r.WriteText(&buf)
+		t.Fatalf("identical entries graded %v:\n%s", got, buf.String())
+	}
+	if len(r.Findings) == 0 {
+		t.Fatal("no metrics compared")
+	}
+	if len(r.Missing) != 0 {
+		t.Fatalf("missing metrics on identical entries: %v", r.Missing)
+	}
+}
+
+// The acceptance case: a synthetic 10%+ throughput regression must fail
+// the gate; the same movement in recovery-latency p95 must too.
+func TestDiffTenPercentRegressionFails(t *testing.T) {
+	old, cur := baseEntry("good"), baseEntry("bad")
+	cur.Throughput.Points[1].MBps = old.Throughput.Points[1].MBps * 0.89 // -11%
+	r := Diff(old, cur, DefaultThresholds)
+	if got := r.Worst(); got != Fail {
+		t.Fatalf("11%% throughput drop graded %v, want FAIL", got)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Metric == "throughput/fig7/interval_2s/mbps" {
+			found = true
+			if f.Severity != Fail || f.RegressionPct < 10 {
+				t.Errorf("finding = %+v, want Fail with regression >= 10%%", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("throughput metric not in report")
+	}
+
+	old, cur = baseEntry("good"), baseEntry("slow")
+	cur.Figures[0].Recovery.P95Ms = old.Figures[0].Recovery.P95Ms * 1.15 // +15%
+	if got := Diff(old, cur, DefaultThresholds).Worst(); got != Fail {
+		t.Fatalf("15%% recovery-p95 growth graded %v, want FAIL", got)
+	}
+}
+
+func TestDiffSmallMovementWarns(t *testing.T) {
+	old, cur := baseEntry("a"), baseEntry("b")
+	cur.Figures[0].MeanMBps = old.Figures[0].MeanMBps * 0.93 // -7%: warn
+	r := Diff(old, cur, DefaultThresholds)
+	if got := r.Worst(); got != Warn {
+		t.Fatalf("7%% drop graded %v, want WARN", got)
+	}
+	// Movement in the GOOD direction never trips the gate.
+	old, cur = baseEntry("a"), baseEntry("c")
+	cur.Figures[0].MeanMBps = old.Figures[0].MeanMBps * 1.5
+	cur.Figures[0].Recovery.P95Ms = old.Figures[0].Recovery.P95Ms * 0.5
+	if got := Diff(old, cur, DefaultThresholds).Worst(); got != OK {
+		t.Fatalf("improvement graded %v, want ok", got)
+	}
+}
+
+func TestDiffInvariantViolationsFromZeroFail(t *testing.T) {
+	old, cur := baseEntry("a"), baseEntry("b")
+	old.Campaign.InvariantViolations = 0
+	cur.Campaign.InvariantViolations = 1
+	if got := Diff(old, cur, DefaultThresholds).Worst(); got != Fail {
+		t.Fatalf("invariant violations 0 -> 1 graded %v, want FAIL", got)
+	}
+}
+
+func TestDiffDroppedMetricWarns(t *testing.T) {
+	old, cur := baseEntry("a"), baseEntry("b")
+	cur.Campaign = nil
+	r := Diff(old, cur, DefaultThresholds)
+	if got := r.Worst(); got != Warn {
+		t.Fatalf("dropped campaign graded %v, want WARN", got)
+	}
+	if len(r.Missing) == 0 {
+		t.Fatal("dropped metrics not listed")
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	// Absent file reads as empty history.
+	if h, err := ReadHistoryFile(path); err != nil || len(h) != 0 {
+		t.Fatalf("absent history: %d entries, err=%v", len(h), err)
+	}
+	for _, label := range []string{"one", "two", "three"} {
+		if err := AppendHistory(path, baseEntry(label)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := ReadHistoryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 3 || h[0].Label != "one" || h[2].Label != "three" {
+		t.Fatalf("round trip: %d entries, labels %q %q", len(h), h[0].Label, h[len(h)-1].Label)
+	}
+	if h[1].Throughput == nil || h[1].Campaign == nil || len(h[1].Figures) != 1 {
+		t.Fatalf("entry 1 lost documents: %+v", h[1])
+	}
+}
+
+func TestLoadEntry(t *testing.T) {
+	dir := t.TempDir()
+	e := baseEntry("")
+	if err := bench.WriteFile(filepath.Join(dir, "BENCH_throughput.json"), e.Throughput); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteFile(filepath.Join(dir, "BENCH_fig7.json"), e.Figures[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEntry(dir, "sha1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "sha1234" || got.Throughput == nil || got.Campaign != nil || len(got.Figures) != 1 {
+		t.Fatalf("loaded entry = %+v", got)
+	}
+	if got.Figures[0].Name != "fig7" {
+		t.Fatalf("figure name %q", got.Figures[0].Name)
+	}
+	// Malformed document is an error, not a skip.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_campaign.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEntry(dir, ""); err == nil {
+		t.Fatal("malformed BENCH_campaign.json not reported")
+	}
+}
+
+func TestReportText(t *testing.T) {
+	old, cur := baseEntry("aaa"), baseEntry("bbb")
+	cur.Throughput.Points[1].MBps *= 0.8
+	var buf bytes.Buffer
+	Diff(old, cur, DefaultThresholds).WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"aaa -> bbb", "FAIL", "throughput/fig7/interval_2s/mbps", "worst: FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

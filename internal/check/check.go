@@ -100,6 +100,14 @@ type Config struct {
 	// heartbeat period).
 	HeartbeatSlack sim.Time
 
+	// Windows, if set, is polled during state scans for the windowed
+	// telemetry sampler's structural self-check (timeseries.Sampler.Err):
+	// a non-nil result — windows out of order, overlapping, or with
+	// non-dense indices — is a window-monotonic violation. The poll is a
+	// single function call per scan, so attaching a sampler to a checked
+	// run costs nothing measurable.
+	Windows func() error
+
 	// StrictSpanLeaks makes every causal span still open at Finish a
 	// span-leak violation. The default is lenient: an open span whose
 	// owning component is still alive is a request legitimately in
@@ -113,7 +121,7 @@ type Config struct {
 // Violation is one invariant failure.
 type Violation struct {
 	T         sim.Time
-	Invariant string // "rs-guard", "endpoint-unique", "stale-endpoint", "grant-safety", "heartbeat", "trace-span", "span-leak"
+	Invariant string // "rs-guard", "endpoint-unique", "stale-endpoint", "grant-safety", "heartbeat", "trace-span", "span-leak", "window-monotonic"
 	Comp      string // component label the violation is about
 	Detail    string
 }
@@ -319,12 +327,24 @@ func (c *Checker) Step() {
 		c.scanServices(now)
 	}
 	c.scanSpans(now)
+	if c.cfg.Windows != nil {
+		if err := c.cfg.Windows(); err != nil {
+			c.report("windows", "window-monotonic", "timeseries", err.Error())
+		}
+	}
 }
 
 // Finish flushes end-of-run checks: spans and policy scripts still open
 // are violations regardless of deadline (the run is over; they can never
 // close). Call it once after the final Run.
 func (c *Checker) Finish() {
+	// Final poll of the window series: the sampler's own Finish flushes a
+	// partial window after the scheduler's last step hook has run.
+	if c.cfg.Windows != nil {
+		if err := c.cfg.Windows(); err != nil {
+			c.report("windows", "window-monotonic", "timeseries", err.Error())
+		}
+	}
 	for _, comp := range sortedTimeKeys(c.openSpans) {
 		c.report("finish-span:"+comp, "trace-span", comp,
 			fmt.Sprintf("recovery span open at end of run (defect at %v, no restart/give-up)",

@@ -303,6 +303,7 @@ func (s *Server) onFrame(m kernel.Message) {
 		return // stale instance or unknown driver
 	}
 	s.stats.FramesIn++
+	ch.bytes.Add(int64(len(m.Payload)))
 	f := m.Payload
 	if len(f) == 0 {
 		return

@@ -38,6 +38,7 @@ func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
 		if !msg.Trace.Valid() {
 			msg.Trace = e.traceCtx
 		}
+		k.ipcSend.Add(1)
 		k.obs.EmitCtx(obs.KindIPCSend, e.label, d.label, int64(msg.Type), 0, msg.Trace)
 	}
 	msg.Source = e.ep
@@ -70,8 +71,11 @@ func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
 func (k *Kernel) receive(e *procEntry, from Endpoint) (Message, error) {
 	m, err := k.receiveInner(e, from)
 	if k.obs != nil {
-		if err == nil && m.Type != MsgNotify {
-			e.traceCtx = m.Trace
+		if err == nil {
+			k.ipcRecv.Add(1)
+			if m.Type != MsgNotify {
+				e.traceCtx = m.Trace
+			}
 		}
 		if k.obs.On(obs.KindIPCRecv) {
 			if err != nil {
@@ -284,6 +288,7 @@ func (k *Kernel) asyncSend(e *procEntry, dst Endpoint, msg Message) error {
 		if !msg.Trace.Valid() {
 			msg.Trace = e.traceCtx
 		}
+		k.ipcSend.Add(1)
 		k.obs.EmitCtx(obs.KindIPCSend, e.label, d.label, int64(msg.Type), 1, msg.Trace)
 	}
 	msg.Source = e.ep

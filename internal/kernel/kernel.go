@@ -93,6 +93,12 @@ type Kernel struct {
 	env *sim.Env
 	obs *obs.Recorder // nil = observability off (zero cost)
 
+	// Registry counters cached at SetObs so the IPC hot path pays one
+	// pointer increment, never a map lookup. The windowed telemetry
+	// sampler (internal/obs/timeseries) reads them as per-window deltas.
+	ipcSend *obs.Counter // messages sent (rendezvous + async)
+	ipcRecv *obs.Counter // messages delivered
+
 	slots    []*procEntry // process table; index = slot
 	byLabel  map[string]*procEntry
 	deathFns []DeathHook
@@ -119,7 +125,11 @@ func (k *Kernel) Env() *sim.Env { return k.env }
 // SetObs installs the observability recorder every kernel-layer event is
 // emitted through. A nil recorder (the default) keeps all instrumented
 // paths free.
-func (k *Kernel) SetObs(r *obs.Recorder) { k.obs = r }
+func (k *Kernel) SetObs(r *obs.Recorder) {
+	k.obs = r
+	k.ipcSend = r.Metrics().Counter("kernel.ipc.send")
+	k.ipcRecv = r.Metrics().Counter("kernel.ipc.recv")
+}
 
 // Obs returns the recorder (possibly nil; obs methods are nil-safe).
 func (k *Kernel) Obs() *obs.Recorder { return k.obs }

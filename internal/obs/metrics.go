@@ -124,6 +124,11 @@ var LatencyBuckets = []int64{
 // Histogram is a fixed-bucket histogram: counts[i] holds observations
 // v <= bounds[i] (and greater than the previous bound); the final bucket
 // is the +Inf overflow. Bounds are ascending and fixed at creation.
+//
+// Bucket boundary semantics: bucket i covers the half-open interval
+// (bounds[i-1], bounds[i]] — closed on the upper end — so an observation
+// exactly equal to a bound lands in that bound's bucket, not the next
+// one. The overflow bucket covers (bounds[last], +Inf).
 type Histogram struct {
 	bounds []int64
 	counts []int64
@@ -187,8 +192,14 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile returns the upper bound of the bucket containing the q-th
-// quantile (0 < q <= 1). Observations past the last bound report the
-// largest bound (the histogram cannot resolve the overflow bucket).
+// quantile (0 < q <= 1), using the nearest-rank method: the target rank
+// is round(q*n), clamped to at least 1. Because only the bucket's upper
+// bound is reported, results are conservative — the true quantile is at
+// most the returned value, never above it — and two quantiles falling in
+// the same bucket are indistinguishable (both report that bound; there
+// is no intra-bucket interpolation). Observations past the last bound
+// report the largest bound (the histogram cannot resolve the overflow
+// bucket).
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil || h.n == 0 || len(h.bounds) == 0 {
 		return 0
@@ -230,6 +241,23 @@ func (h *Histogram) Buckets() []Bucket {
 		out = append(out, Bucket{UpperBound: ub, Count: c})
 	}
 	return out
+}
+
+// VisitCounters calls fn for every counter, in name order (deterministic).
+// The windowed telemetry sampler (internal/obs/timeseries) uses this to
+// compute per-window counter deltas without allocating a full Snapshot.
+func (g *Registry) VisitCounters(fn func(name string, v int64)) {
+	if g == nil {
+		return
+	}
+	names := make([]string, 0, len(g.counters))
+	for name := range g.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn(name, g.counters[name].Value())
+	}
 }
 
 // MetricValue is one row of a registry snapshot.

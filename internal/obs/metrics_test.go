@@ -52,6 +52,73 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileRankSemantics pins the nearest-rank percentile
+// behaviour the bench gate depends on (recovery-latency p95 is a gated
+// metric): the target rank is round(q*n) clamped to >= 1, the reported
+// value is always a bucket upper bound (conservative, never below the
+// true quantile), and there is no intra-bucket interpolation.
+func TestHistogramQuantileRankSemantics(t *testing.T) {
+	// 20 observations, one per bucket-edge-straddling value: ranks are
+	// exact so rounding is observable. Buckets: <=10 (10 obs), <=20
+	// (5), <=50 (5).
+	h := NewHistogram([]int64{10, 20, 50})
+	for i := 0; i < 10; i++ {
+		h.Observe(10) // exactly on a bound: lands in that bound's bucket
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(11)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(50)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 10}, // rank 10: last observation of the first bucket
+		{0.52, 10}, // rank round(10.4) = 10: still the first bucket
+		{0.53, 20}, // rank round(10.6) = 11: first observation past it
+		{0.75, 20}, // rank 15: last of the middle bucket
+		{0.76, 20}, // rank round(15.2) = 15: nearest rank stays in the middle bucket
+		{0.78, 50}, // rank round(15.6) = 16: the top bucket
+		{0.95, 50},
+		{1.00, 50},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%.2f) = %d, want %d", c.q, got, c.want)
+		}
+	}
+
+	// Quantiles falling in the same bucket are indistinguishable: p90 and
+	// p99 of a single-bucket population report the same bound.
+	one := NewHistogram([]int64{100, 200})
+	for i := 0; i < 1000; i++ {
+		one.Observe(int64(150))
+	}
+	if p90, p99 := one.Quantile(0.90), one.Quantile(0.99); p90 != 200 || p99 != 200 {
+		t.Errorf("single-bucket p90/p99 = %d/%d, want 200/200", p90, p99)
+	}
+
+	// Tiny populations: rank clamps to 1, so any q maps to the only
+	// observation's bucket.
+	single := NewHistogram([]int64{10, 20})
+	single.Observe(15)
+	for _, q := range []float64{0.01, 0.5, 0.999} {
+		if got := single.Quantile(q); got != 20 {
+			t.Errorf("n=1 Quantile(%g) = %d, want 20", q, got)
+		}
+	}
+	// Empty and nil histograms report 0.
+	if got := NewHistogram(nil).Quantile(0.95); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.95); got != 0 {
+		t.Errorf("nil Quantile = %d, want 0", got)
+	}
+}
+
 func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
 	h := NewHistogram([]int64{50, 10, 20})
 	h.Observe(15)

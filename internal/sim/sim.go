@@ -194,6 +194,52 @@ func (ev *Event) Cancel() bool {
 	return true
 }
 
+// Ticker is a cancelable periodic callback created by Env.Tick. The
+// telemetry sampler (internal/obs/timeseries) uses one per run segment to
+// fire window rollovers at exact virtual-time boundaries.
+type Ticker struct {
+	env     *Env
+	ev      *Event
+	period  Time
+	fn      func()
+	stopped bool
+}
+
+// Tick schedules fn to run every period of virtual time, first at
+// now+period. Unlike hand-rolled Schedule chains, the returned Ticker can
+// be stopped, which removes the pending event from the queue — so a
+// finished consumer does not keep the event queue from draining. fn runs
+// in scheduler context and must not block.
+func (e *Env) Tick(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		period = 1
+	}
+	t := &Ticker{env: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.env.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped { // fn may have called Stop
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker; the pending rollover never fires. Idempotent.
+func (t *Ticker) Stop() {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	t.ev.Cancel()
+}
+
 // Stop makes Run return after the current event completes.
 func (e *Env) Stop() { e.stopped = true }
 

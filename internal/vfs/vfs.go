@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"resilientos/internal/kernel"
+	"resilientos/internal/obs"
 	"resilientos/internal/proto"
 )
 
@@ -55,6 +56,7 @@ type Server struct {
 	nextFd int64
 
 	stats Stats
+	bytes *obs.Counter // bytes moved through read/write, cached per incarnation
 }
 
 // New creates a VFS; run its Binary as an RS service.
@@ -76,6 +78,7 @@ func (s *Server) run(c *kernel.Ctx) {
 	s.files = make(map[int64]*file)
 	s.nextFd = 3
 	s.fsEp = 0
+	s.bytes = c.Obs().Metrics().Counter("vfs.bytes")
 	if _, err := c.SendRec(s.cfg.DS, kernel.Message{
 		Type: proto.DSSubscribe, Name: s.cfg.FSLabel,
 	}); err != nil {
@@ -313,6 +316,7 @@ func (s *Server) read(m kernel.Message) {
 	}
 	if reply.Arg1 > 0 {
 		f.offset += reply.Arg1
+		s.bytes.Add(reply.Arg1)
 	}
 	s.reply(m.Source, kernel.Message{Arg1: reply.Arg1, Payload: reply.Payload})
 }
@@ -338,6 +342,7 @@ func (s *Server) write(m kernel.Message) {
 	}
 	if reply.Arg1 > 0 {
 		f.offset += reply.Arg1
+		s.bytes.Add(reply.Arg1)
 	}
 	s.reply(m.Source, kernel.Message{Arg1: reply.Arg1})
 }
@@ -369,6 +374,14 @@ func (s *Server) devCall(m kernel.Message, f *file, req kernel.Message) {
 		s.stats.DevErrors++ // [recovery] driver died mid-request
 		s.reply(m.Source, kernel.Message{Arg1: proto.ErrIO})
 		return
+	}
+	switch req.Type {
+	case proto.ChrRead:
+		s.bytes.Add(int64(len(reply.Payload)))
+	case proto.ChrWrite:
+		if reply.Arg1 > 0 {
+			s.bytes.Add(reply.Arg1)
+		}
 	}
 	s.reply(m.Source, kernel.Message{Arg1: reply.Arg1, Payload: reply.Payload})
 }
