@@ -1,0 +1,57 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"resilientos/internal/bench/compare"
+)
+
+// Every cmd must answer -h with its flag documentation and a clean exit
+// (main treats flag.ErrHelp as success).
+func TestHelp(t *testing.T) {
+	if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-policy", "bogus", "-horizon", "1s"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run([]string{"-storm", "hail:everything"}); err == nil {
+		t.Fatal("unknown storm accepted")
+	}
+}
+
+// TestEndToEnd runs a small campaign through the CLI and checks the
+// bench document it writes is loadable by the regression gate.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "BENCH_fleet.json")
+	csvPath := filepath.Join(dir, "fleet.csv")
+	err := run([]string{
+		"-nodes", "3", "-seed", "7", "-horizon", "2s", "-rps", "80",
+		"-storm", "correlated:eth.rtl8139,k=1,every=900ms",
+		"-bench-json", benchPath, "-csv", csvPath,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	e, err := compare.LoadEntry(dir, "test")
+	if err != nil {
+		t.Fatalf("LoadEntry: %v", err)
+	}
+	if e.Fleet == nil {
+		t.Fatal("BENCH_fleet.json not written or not loadable")
+	}
+	if e.Fleet.Nodes != 3 || e.Fleet.Seed != 7 || e.Fleet.Kills == 0 {
+		t.Fatalf("fleet doc = %+v", e.Fleet)
+	}
+	if fi, err := os.Stat(csvPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("csv not written: %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package resilientos
+
+import (
+	"testing"
+	"time"
+
+	"resilientos/internal/sim"
+)
+
+// Every must return a cancelable ticker: once stopped, the periodic
+// closure never fires again (no self-rescheduling zombie), which is what
+// lets the fleet simulation tear a node's kill loop down mid-campaign.
+func TestEveryCancel(t *testing.T) {
+	sys := New(Config{Seed: 3})
+	sys.Run(2 * time.Second) // boot settle
+
+	fired := 0
+	tk := sys.Every(100*time.Millisecond, func() { fired++ })
+	if tk == nil {
+		t.Fatal("Every returned nil ticker")
+	}
+	sys.Run(350 * time.Millisecond)
+	if fired != 3 {
+		t.Fatalf("fired %d times before stop, want 3", fired)
+	}
+	tk.Stop()
+	sys.Run(time.Second)
+	if fired != 3 {
+		t.Fatalf("ticker fired %d times after Stop, want it frozen at 3", fired)
+	}
+
+	// Stopping from inside the callback must also stick.
+	count := 0
+	var tk2 *sim.Ticker
+	tk2 = sys.Every(50*time.Millisecond, func() {
+		count++
+		if count == 2 {
+			tk2.Stop()
+		}
+	})
+	sys.Run(time.Second)
+	if count != 2 {
+		t.Fatalf("self-stopping ticker fired %d times, want 2", count)
+	}
+}

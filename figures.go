@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"resilientos/internal/bench"
-	"resilientos/internal/core"
 	"resilientos/internal/hw"
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/timeseries"
@@ -96,32 +95,6 @@ type FigureResult struct {
 	Violation error
 }
 
-// rsStatus adapts the reincarnation server's service snapshot to the
-// sampler's status column.
-func rsStatus(rs *core.RS) func() []timeseries.ServiceStatus {
-	return func() []timeseries.ServiceStatus {
-		svcs := rs.Services()
-		out := make([]timeseries.ServiceStatus, 0, len(svcs))
-		for _, s := range svcs {
-			state := "dead"
-			switch {
-			case s.Stopped:
-				state = "stopped"
-			case s.GaveUp:
-				state = "gave-up"
-			case s.Recovering:
-				state = "recovering"
-			case s.Running:
-				state = "live"
-			}
-			out = append(out, timeseries.ServiceStatus{
-				Label: s.Label, State: state, Failures: s.Failures,
-			})
-		}
-		return out
-	}
-}
-
 // RunFigure executes one figure run: boot, settle, mark, transfer under
 // periodic kills, windowed sampling, dip analysis.
 func RunFigure(cfg FigureConfig) FigureResult {
@@ -173,7 +146,7 @@ func RunFigure(cfg FigureConfig) FigureResult {
 	sampler := timeseries.New(timeseries.Config{
 		Window:   cfg.Window,
 		Registry: rec.Metrics(),
-		Status:   rsStatus(sys.RS),
+		Status:   sys.StatusFunc(),
 	})
 	sampler.Attach(sys.Env)
 	rec.AddSink(sampler)

@@ -19,6 +19,7 @@ const (
 	SchemaThroughput = "resilientos/bench/throughput/v1"
 	SchemaCampaign   = "resilientos/bench/campaign/v1"
 	SchemaFigure     = "resilientos/bench/figure/v1"
+	SchemaFleet      = "resilientos/bench/fleet/v1"
 )
 
 // LatencyMs is a recovery-latency distribution in virtual milliseconds.
@@ -113,6 +114,52 @@ type Campaign struct {
 	InvariantViolations int             `json:"invariant_violations"`
 	WallClockS          float64         `json:"wall_clock_s"`
 	ByFault             []CampaignFault `json:"by_fault"`
+}
+
+// FleetClass is one service class's slice of a fleet campaign.
+type FleetClass struct {
+	Class               string    `json:"class"`
+	AvailabilityPct     float64   `json:"availability_pct"`      // higher is better
+	NodeAvailabilityPct float64   `json:"node_availability_pct"` // higher is better
+	Requests            int64     `json:"requests"`
+	Latency             LatencyMs `json:"latency"` // request latency, lower is better
+}
+
+// Fleet is the BENCH_fleet.json document: the summary of one
+// cmd/fleetbench campaign (internal/cluster). Direction conventions for
+// the regression gate: availability and recovery percentages are
+// higher-better, request-latency percentiles are lower-better. All
+// fields but WallClockS are deterministic for a fixed fleet seed.
+type Fleet struct {
+	Schema   string  `json:"schema"`
+	Nodes    int     `json:"nodes"`
+	Seed     int64   `json:"seed"`
+	Policy   string  `json:"policy"`
+	Storm    string  `json:"storm"`
+	HorizonS float64 `json:"horizon_s"`
+	WindowMs float64 `json:"window_ms"`
+	Windows  int     `json:"windows"`
+
+	AvailabilityPct     float64 `json:"availability_pct"`      // higher is better
+	NodeAvailabilityPct float64 `json:"node_availability_pct"` // higher is better
+
+	Requests  int64     `json:"requests"`
+	Completed int64     `json:"completed"`
+	Reroutes  int64     `json:"reroutes"`
+	Latency   LatencyMs `json:"latency"` // request latency, lower is better
+
+	Kills        int     `json:"kills"`
+	Injections   int     `json:"injections"`
+	Crashes      int     `json:"crashes"`
+	Recovered    int     `json:"recovered"`
+	GaveUp       int     `json:"gave_up"`
+	RecoveredPct float64 `json:"recovered_pct"` // higher is better
+
+	MaxRecoveryOverlap  int     `json:"max_recovery_overlap"`
+	MeanRecoveryOverlap float64 `json:"mean_recovery_overlap"`
+
+	WallClockS float64      `json:"wall_clock_s"`
+	Classes    []FleetClass `json:"classes"`
 }
 
 // WriteFile marshals v as indented JSON (plus trailing newline) to path.

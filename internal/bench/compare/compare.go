@@ -1,6 +1,6 @@
 // Package compare is the bench-regression gate: it accumulates the
 // machine-readable perf baselines (BENCH_throughput.json,
-// BENCH_campaign.json, BENCH_fig7/8.json) into an append-only
+// BENCH_campaign.json, BENCH_fig7/8.json, BENCH_fleet.json) into an append-only
 // BENCH_history.jsonl trajectory, and diffs the newest entry against the
 // previous one with per-metric, direction-aware thresholds — by default
 // warn past 5% and fail past 10% movement in the bad direction (e.g. a
@@ -28,11 +28,13 @@ type Entry struct {
 	Throughput *bench.Throughput `json:"throughput,omitempty"`
 	Campaign   *bench.Campaign   `json:"campaign,omitempty"`
 	Figures    []bench.Figure    `json:"figures,omitempty"`
+	Fleet      *bench.Fleet      `json:"fleet,omitempty"`
 }
 
 // Empty reports whether the entry carries no documents at all.
 func (e Entry) Empty() bool {
-	return e.Throughput == nil && e.Campaign == nil && len(e.Figures) == 0
+	return e.Throughput == nil && e.Campaign == nil && len(e.Figures) == 0 &&
+		e.Fleet == nil
 }
 
 // LoadEntry gathers the baseline documents found in dir
@@ -64,6 +66,12 @@ func LoadEntry(dir, label string) (Entry, error) {
 		return e, err
 	} else if ok {
 		e.Campaign = &cp
+	}
+	var fl bench.Fleet
+	if ok, err := load(filepath.Join(dir, "BENCH_fleet.json"), &fl); err != nil {
+		return e, err
+	} else if ok {
+		e.Fleet = &fl
 	}
 	figs, err := filepath.Glob(filepath.Join(dir, "BENCH_fig*.json"))
 	if err != nil {
@@ -224,6 +232,15 @@ func metrics(e Entry) []metric {
 	if c := e.Campaign; c != nil {
 		add("campaign/recovery_rate_pct", c.RecoveryRatePct, true)
 		add("campaign/invariant_violations", float64(c.InvariantViolations), false)
+	}
+	if fl := e.Fleet; fl != nil {
+		add("fleet/availability_pct", fl.AvailabilityPct, true)
+		add("fleet/recovered_pct", fl.RecoveredPct, true)
+		if fl.Latency.Count > 0 {
+			add("fleet/request_p50_ms", fl.Latency.P50Ms, false)
+			add("fleet/request_p99_ms", fl.Latency.P99Ms, false)
+		}
+		add("fleet/max_recovery_overlap", float64(fl.MaxRecoveryOverlap), false)
 	}
 	for _, f := range e.Figures {
 		key := "figure/" + f.Name

@@ -32,6 +32,13 @@ func baseEntry(label string) Entry {
 			Dips: 3, MeanDipWidthMs: 1000,
 			Recovery: bench.LatencyMs{Count: 3, P95Ms: 120},
 		}},
+		Fleet: &bench.Fleet{
+			Schema: bench.SchemaFleet, Nodes: 4, Seed: 11,
+			Policy: "failure-aware", Storm: "correlated:eth.rtl8139,k=2,every=1s,mode=kill",
+			AvailabilityPct: 95, NodeAvailabilityPct: 100, RecoveredPct: 100,
+			Latency:            bench.LatencyMs{Count: 500, P50Ms: 4.5, P99Ms: 60},
+			MaxRecoveryOverlap: 2,
+		},
 	}
 }
 
@@ -76,6 +83,43 @@ func TestDiffTenPercentRegressionFails(t *testing.T) {
 	cur.Figures[0].Recovery.P95Ms = old.Figures[0].Recovery.P95Ms * 1.15 // +15%
 	if got := Diff(old, cur, DefaultThresholds).Worst(); got != Fail {
 		t.Fatalf("15%% recovery-p95 growth graded %v, want FAIL", got)
+	}
+}
+
+// The fleet acceptance case: a synthetic ~10% fleet-availability drop
+// must fail the gate (availability is higher-better), and a 10%+ p99
+// request-latency growth must too (lower-better).
+func TestDiffFleetRegressionFails(t *testing.T) {
+	old, cur := baseEntry("good"), baseEntry("outage")
+	cur.Fleet.AvailabilityPct = old.Fleet.AvailabilityPct * 0.89 // -11%
+	r := Diff(old, cur, DefaultThresholds)
+	found := false
+	for _, f := range r.Findings {
+		if f.Metric == "fleet/availability_pct" {
+			found = true
+			if f.Severity != Fail || !f.HigherBetter {
+				t.Errorf("finding = %+v, want higher-better Fail", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fleet/availability_pct not in report")
+	}
+	if got := r.Worst(); got != Fail {
+		t.Fatalf("11%% availability drop graded %v, want FAIL", got)
+	}
+
+	old, cur = baseEntry("good"), baseEntry("slow")
+	cur.Fleet.Latency.P99Ms = old.Fleet.Latency.P99Ms * 1.12 // +12%
+	if got := Diff(old, cur, DefaultThresholds).Worst(); got != Fail {
+		t.Fatalf("12%% fleet p99 growth graded %v, want FAIL", got)
+	}
+	// Latency FALLING is an improvement, never a regression.
+	old, cur = baseEntry("good"), baseEntry("fast")
+	cur.Fleet.Latency.P99Ms = old.Fleet.Latency.P99Ms * 0.5
+	cur.Fleet.AvailabilityPct = 100
+	if got := Diff(old, cur, DefaultThresholds).Worst(); got != OK {
+		t.Fatalf("fleet improvement graded %v, want ok", got)
 	}
 }
 
@@ -148,12 +192,18 @@ func TestLoadEntry(t *testing.T) {
 	if err := bench.WriteFile(filepath.Join(dir, "BENCH_fig7.json"), e.Figures[0]); err != nil {
 		t.Fatal(err)
 	}
+	if err := bench.WriteFile(filepath.Join(dir, "BENCH_fleet.json"), e.Fleet); err != nil {
+		t.Fatal(err)
+	}
 	got, err := LoadEntry(dir, "sha1234")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Label != "sha1234" || got.Throughput == nil || got.Campaign != nil || len(got.Figures) != 1 {
 		t.Fatalf("loaded entry = %+v", got)
+	}
+	if got.Fleet == nil || got.Fleet.Policy != "failure-aware" {
+		t.Fatalf("fleet document not loaded: %+v", got.Fleet)
 	}
 	if got.Figures[0].Name != "fig7" {
 		t.Fatalf("figure name %q", got.Figures[0].Name)

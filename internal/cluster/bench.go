@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"resilientos/internal/bench"
+)
+
+// BenchDoc converts the report to the BENCH_fleet.json baseline document
+// consumed by the bench-regression gate. wallSeconds is the only
+// non-deterministic field; pass 0 for byte-reproducible output.
+func (r *Report) BenchDoc(wallSeconds float64) *bench.Fleet {
+	fl := &bench.Fleet{
+		Schema:   bench.SchemaFleet,
+		Nodes:    r.Nodes,
+		Seed:     r.Seed,
+		Policy:   r.Policy,
+		Storm:    r.Storm,
+		HorizonS: r.Horizon.Seconds(),
+		WindowMs: float64(r.Window.Milliseconds()),
+		Windows:  r.Windows,
+
+		AvailabilityPct:     r.AvailabilityPct,
+		NodeAvailabilityPct: r.NodeAvailabilityPct,
+
+		Requests:  r.Requests,
+		Completed: r.Completed,
+		Reroutes:  r.Reroutes,
+		Latency:   bench.Latency(r.Latency),
+
+		Kills:        r.Kills,
+		Injections:   r.Injections,
+		Crashes:      r.Crashes,
+		Recovered:    r.Recovered,
+		GaveUp:       r.GaveUp,
+		RecoveredPct: r.RecoveredPct,
+
+		MaxRecoveryOverlap:  r.MaxRecoveryOverlap,
+		MeanRecoveryOverlap: r.MeanRecoveryOverlap,
+
+		WallClockS: wallSeconds,
+	}
+	for _, cr := range r.Classes {
+		fl.Classes = append(fl.Classes, bench.FleetClass{
+			Class:               cr.Class,
+			AvailabilityPct:     cr.AvailabilityPct,
+			NodeAvailabilityPct: cr.NodeAvailabilityPct,
+			Requests:            cr.Requests,
+			Latency:             bench.Latency(cr.Latency),
+		})
+	}
+	return fl
+}

@@ -1,0 +1,244 @@
+// Package cluster simulates a fleet of resilient operating systems
+// behind a load balancer, extending the single-node reproduction of
+// Herder et al.'s failure-resilient OS to the question the paper's
+// availability argument implies: how much does driver-level recovery
+// buy a *service* when faults hit many machines at once?
+//
+// Every node is a full resilientos.System — its own microkernel,
+// reincarnation server, drivers, and seeded scheduler — advanced in
+// lockstep virtual time by sim.Lockstep. A fleet-level event loop owns
+// a separate clock on which request arrivals, routing, storm strikes,
+// and metric windows are scheduled. Cluster-level logic only ever reads
+// node state at lockstep barriers, so a campaign is byte-reproducible
+// from its fleet seed regardless of how many workers advance the nodes.
+package cluster
+
+import (
+	"math/rand"
+	"time"
+
+	"resilientos"
+	"resilientos/internal/obs"
+	"resilientos/internal/obs/timeseries"
+	"resilientos/internal/sim"
+)
+
+// Config parameterizes one fleet campaign. The zero value is usable:
+// Fill supplies defaults for everything but the storm (default none).
+type Config struct {
+	Nodes int   // fleet size (default 4)
+	Seed  int64 // fleet seed; node seeds and all draws derive from it (default 1)
+
+	Policy Policy // routing policy (default FailureAware)
+	Storm  Storm  // fault schedule (default none)
+
+	Horizon time.Duration // request/storm phase length (default 12s)
+	Window  time.Duration // availability window width (default 250ms)
+	Slice   time.Duration // lockstep barrier spacing (default 5ms)
+	Settle  time.Duration // boot settling before the campaign (default 3s)
+	Drain   time.Duration // max extra time for recoveries/in-flight (default 8s)
+
+	RPS        float64       // fleet-wide request arrival rate (default 200)
+	DiskShare  float64       // fraction of requests that are disk-class (default 0.25)
+	RetryAfter time.Duration // client re-route timeout after a failed attempt (default 40ms)
+	// Warmup is how long a node's service class stays distrusted after a
+	// recovery republish — the cluster-level model of post-restart service
+	// disruption (TCP retransmission stalls after a NIC driver restart in
+	// the paper's measurements). Default 500ms.
+	Warmup time.Duration
+
+	MaxRestarts int // per-node RS restart budget (0 = unbounded)
+	Workers     int // node-advance parallelism; never changes results (default 1)
+}
+
+// Fill applies defaults and normalizes the geometry: the window is
+// rounded down to a slice multiple and the horizon up to a window
+// multiple, so windows tile the campaign exactly.
+func (cfg Config) Fill() Config {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FailureAware{}
+	}
+	if cfg.Storm.Kind == "" {
+		cfg.Storm.Kind = "none"
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 12 * time.Second
+	}
+	if cfg.Slice <= 0 {
+		cfg.Slice = 5 * time.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 250 * time.Millisecond
+	}
+	if cfg.Window < cfg.Slice {
+		cfg.Window = cfg.Slice
+	}
+	cfg.Window -= cfg.Window % cfg.Slice
+	if rem := cfg.Horizon % cfg.Window; rem != 0 {
+		cfg.Horizon += cfg.Window - rem
+	}
+	if cfg.Settle <= 0 {
+		cfg.Settle = 3 * time.Second
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 8 * time.Second
+	}
+	if cfg.RPS == 0 {
+		cfg.RPS = 200
+	}
+	if cfg.DiskShare < 0 || cfg.DiskShare > 1 {
+		cfg.DiskShare = 0.25
+	} else if cfg.DiskShare == 0 {
+		cfg.DiskShare = 0.25
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 40 * time.Millisecond
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 500 * time.Millisecond
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	return cfg
+}
+
+// Cluster is one fleet campaign in flight.
+type Cluster struct {
+	cfg    Config
+	policy Policy
+
+	fleet *sim.Env // fleet clock: arrivals, routing, storms, windows
+	lock  *sim.Lockstep
+	nodes []*Node
+
+	reg     *obs.Registry
+	rec     *obs.Recorder
+	sampler *timeseries.Sampler
+	tracker *tracker
+
+	rng     *rand.Rand // request-path draws (arrival gaps, classes, service times)
+	horizon sim.Time
+
+	nextReq      int64
+	outstanding  int64
+	rerouted     int64
+	reroutedReqs int64
+	latencies    map[string][]sim.Time
+}
+
+// New boots a fleet. Call Run to execute the campaign.
+func New(cfg Config) *Cluster {
+	cfg = cfg.Fill()
+	c := &Cluster{
+		cfg:       cfg,
+		policy:    cfg.Policy,
+		fleet:     sim.NewEnv(cfg.Seed),
+		reg:       obs.NewRegistry(),
+		horizon:   sim.Time(cfg.Horizon),
+		latencies: map[string][]sim.Time{resilientos.ClassNet: nil, resilientos.ClassDisk: nil},
+	}
+	c.rng = rand.New(rand.NewSource(cfg.Seed ^ 0x466C656574)) // "Fleet"
+	c.sampler = timeseries.New(timeseries.Config{
+		Window:   sim.Time(cfg.Window),
+		Registry: c.reg,
+		Status:   c.statusFunc(),
+	})
+	c.rec = obs.NewRecorder(c.sampler)
+	c.rec.SetClock(c.fleet.Now)
+	envs := make([]*sim.Env, 0, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := newNode(i, cfg.Seed, cfg.MaxRestarts)
+		c.nodes = append(c.nodes, n)
+		envs = append(envs, n.Sys.Env)
+	}
+	c.lock = sim.NewLockstep(cfg.Workers, envs...)
+	return c
+}
+
+// barrier advances fleet and node clocks to the shared instant t and
+// refreshes every node's health snapshot. Order is fixed: fleet events
+// first (they may kill/inject into nodes), then node catch-up, then
+// snapshots — so routing between t and the next barrier sees exactly the
+// state the fleet observed at t.
+func (c *Cluster) barrier(t sim.Time) {
+	c.fleet.RunUntil(t)
+	c.lock.AdvanceTo(t)
+	recovering := 0
+	healthy := map[string]int{resilientos.ClassNet: 0, resilientos.ClassDisk: 0}
+	for _, n := range c.nodes {
+		if n.sampleHealth(t, sim.Time(c.cfg.Warmup)) {
+			recovering++
+		}
+		if n.health.OK(resilientos.ClassNet) {
+			healthy[resilientos.ClassNet]++
+		}
+		if n.health.OK(resilientos.ClassDisk) {
+			healthy[resilientos.ClassDisk]++
+		}
+	}
+	if c.tracker != nil {
+		c.tracker.sampleBarrier(t, healthy, recovering)
+	}
+}
+
+// Run executes the campaign: settle, storm+load phase in lockstep
+// slices, then a drain that waits for in-flight requests and recoveries
+// to finish. Returns the fleet report.
+func (c *Cluster) Run() *Report {
+	slice := sim.Time(c.cfg.Slice)
+	settle := sim.Time(c.cfg.Settle)
+
+	// Boot settling: let every node reach steady state before windows
+	// start, so availability measures the storm, not the boot.
+	c.barrier(settle)
+
+	classes := []string{resilientos.ClassNet, resilientos.ClassDisk}
+	c.tracker = newTracker(settle, sim.Time(c.cfg.Window), int(c.horizon/sim.Time(c.cfg.Window)), classes)
+	c.sampler.Attach(c.fleet)
+
+	end := settle + c.horizon
+	c.armArrivals(end)
+	c.startStorm(c.cfg.Storm, end)
+
+	for t := settle + slice; t <= end; t += slice {
+		c.barrier(t)
+	}
+
+	// Drain: no new arrivals or strikes; keep the fleet stepping until
+	// every request completed and every recovery republished (or the
+	// drain budget runs out — survivors are reported as Incomplete).
+	drainEnd := end + sim.Time(c.cfg.Drain)
+	for t := end + slice; t <= drainEnd; t += slice {
+		if c.outstanding == 0 && !c.anyRecovering() {
+			break
+		}
+		c.barrier(t)
+	}
+	c.sampler.Finish()
+	return c.buildReport()
+}
+
+func (c *Cluster) anyRecovering() bool {
+	for _, n := range c.nodes {
+		if n.health.Recovering > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes exposes the fleet members (read-only use).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Segments returns the fleet window series recorded by the sampler.
+func (c *Cluster) Segments() []timeseries.Segment { return c.sampler.Segments() }
+
+// Run is the one-call entry point: boot a fleet from cfg and execute it.
+func Run(cfg Config) *Report { return New(cfg).Run() }

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"time"
+
+	"resilientos"
+	"resilientos/internal/sim"
+)
+
+// request is one fleet-level client request. Requests are synthetic at
+// the cluster layer — their latency is a function of real node state:
+// a request dispatched to a node whose driver is down (or that loses it
+// mid-flight to a storm strike) pays a reroute penalty and is re-routed
+// by the active policy, exactly the traffic-diversion story the fleet
+// simulation exists to measure.
+type request struct {
+	id       int64
+	class    string // resilientos.ClassNet or ClassDisk
+	arrival  sim.Time
+	reroutes int
+}
+
+// armArrivals starts the Poisson arrival chain on the fleet clock. The
+// chain self-schedules until the campaign horizon.
+func (c *Cluster) armArrivals(until sim.Time) {
+	if c.cfg.RPS <= 0 {
+		return
+	}
+	mean := float64(time.Second) / c.cfg.RPS
+	var next func()
+	next = func() {
+		if c.fleet.Now() >= until {
+			return
+		}
+		c.arrive()
+		gap := sim.Time(c.rng.ExpFloat64() * mean)
+		if gap < 10*time.Microsecond {
+			gap = 10 * time.Microsecond
+		}
+		c.fleet.Schedule(gap, next)
+	}
+	c.fleet.Schedule(sim.Time(c.rng.ExpFloat64()*mean), next)
+}
+
+// arrive creates one request and dispatches it.
+func (c *Cluster) arrive() {
+	class := resilientos.ClassNet
+	if c.rng.Float64() < c.cfg.DiskShare {
+		class = resilientos.ClassDisk
+	}
+	c.nextReq++
+	r := &request{id: c.nextReq, class: class, arrival: c.fleet.Now()}
+	c.outstanding++
+	c.reg.Counter("fleet.arrivals").Add(1)
+	c.reg.Counter("fleet.arrivals." + class).Add(1)
+	c.dispatch(r)
+}
+
+// serviceTime draws a deterministic service time for one attempt: a
+// per-class base cost plus exponential jitter from the fleet RNG.
+func (c *Cluster) serviceTime(class string) sim.Time {
+	if class == resilientos.ClassDisk {
+		return 6*time.Millisecond + sim.Time(c.rng.ExpFloat64()*float64(2500*time.Microsecond))
+	}
+	return 2*time.Millisecond + sim.Time(c.rng.ExpFloat64()*float64(1500*time.Microsecond))
+}
+
+// dispatch routes a request to a node chosen by the active policy, using
+// only barrier health snapshots and cluster bookkeeping (so routing is
+// independent of node-advance order).
+func (c *Cluster) dispatch(r *request) {
+	n := c.nodes[c.policy.Pick(r.class, c.nodes)]
+	n.inflight++
+	c.reg.Counter("fleet.dispatch." + n.Name).Add(1)
+	if !n.health.OK(r.class) {
+		// Routed onto a sick node (health-blind policy, or a fleet-wide
+		// outage): the attempt stalls until the client re-routes.
+		c.bounce(r, n, "sick")
+		return
+	}
+	st := c.serviceTime(r.class)
+	c.fleet.Schedule(st, func() { c.finish(r, n) })
+}
+
+// bounce records a failed attempt and re-dispatches after the client's
+// retry timeout.
+func (c *Cluster) bounce(r *request, n *Node, why string) {
+	r.reroutes++
+	c.rerouted++
+	c.reg.Counter("fleet.reroute." + why).Add(1)
+	c.tracker.noteBounce(r.class, c.fleet.Now())
+	c.fleet.Schedule(c.cfg.RetryAfter, func() {
+		n.inflight--
+		c.dispatch(r)
+	})
+}
+
+// finish completes one attempt. If the node lost the request's service
+// class mid-flight (a storm strike landed during service), the attempt's
+// work is lost and the request re-routes immediately.
+func (c *Cluster) finish(r *request, n *Node) {
+	if !n.health.OK(r.class) {
+		r.reroutes++
+		c.rerouted++
+		c.reg.Counter("fleet.reroute.midflight").Add(1)
+		c.tracker.noteBounce(r.class, c.fleet.Now())
+		n.inflight--
+		c.dispatch(r)
+		return
+	}
+	n.inflight--
+	c.outstanding--
+	c.reg.Counter("fleet.complete").Add(1)
+	lat := c.fleet.Now() - r.arrival
+	c.latencies[r.class] = append(c.latencies[r.class], lat)
+	if r.reroutes > 0 {
+		c.reroutedReqs++
+	}
+}

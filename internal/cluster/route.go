@@ -1,0 +1,90 @@
+package cluster
+
+import "fmt"
+
+// Policy selects the node a request is dispatched to. Implementations
+// must be deterministic: the choice may depend only on the request class,
+// the nodes' barrier health snapshots, and cluster-level bookkeeping
+// (in-flight counts, an internal cursor) — never on live node state.
+type Policy interface {
+	Name() string
+	// Pick returns the index of the target node. nodes is never empty.
+	Pick(class string, nodes []*Node) int
+}
+
+// RoundRobin cycles through the nodes regardless of health — the naive
+// baseline a failure-aware fleet is measured against.
+type RoundRobin struct{ next int }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(class string, nodes []*Node) int {
+	i := p.next % len(nodes)
+	p.next = (p.next + 1) % len(nodes)
+	return i
+}
+
+// LeastLoaded picks the node with the fewest in-flight requests (lowest
+// index breaks ties). Health-blind: a node whose driver just crashed
+// quickly drains its in-flight count and becomes the "least loaded"
+// target, so this policy can pile new requests onto a sick node.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(class string, nodes []*Node) int {
+	best := 0
+	for i, n := range nodes {
+		if n.inflight < nodes[best].inflight {
+			best = i
+		}
+	}
+	return best
+}
+
+// FailureAware routes around sick nodes: it considers only nodes whose
+// barrier health snapshot reports the request's class as serving — the
+// DIR-Net-style detection-to-isolation step — and picks the least loaded
+// of them. When every node is sick (a fleet-wide correlated storm) it
+// degrades to least-loaded over all nodes: the request will ride out the
+// recovery wherever it lands.
+type FailureAware struct{}
+
+// Name implements Policy.
+func (FailureAware) Name() string { return "failure-aware" }
+
+// Pick implements Policy.
+func (FailureAware) Pick(class string, nodes []*Node) int {
+	best := -1
+	for i, n := range nodes {
+		if !n.health.OK(class) {
+			continue
+		}
+		if best < 0 || n.inflight < nodes[best].inflight {
+			best = i
+		}
+	}
+	if best < 0 {
+		return LeastLoaded{}.Pick(class, nodes)
+	}
+	return best
+}
+
+// Policies lists the built-in routing policies, in canonical order.
+func Policies() []Policy {
+	return []Policy{&RoundRobin{}, LeastLoaded{}, FailureAware{}}
+}
+
+// ParsePolicy resolves a policy by name.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (known: round-robin, least-loaded, failure-aware)", name)
+}

@@ -1,0 +1,81 @@
+package sim
+
+import "sync"
+
+// RunUntil advances the environment to the absolute virtual time t,
+// executing every event scheduled before or at t. Unlike Run, whose
+// horizon is relative to the current clock, RunUntil is idempotent for a
+// clock already at or past t. It returns the virtual time reached (t,
+// unless Stop fired first).
+func (e *Env) RunUntil(t Time) Time {
+	if t <= e.now {
+		return e.now
+	}
+	return e.Run(t - e.now)
+}
+
+// Lockstep advances a set of fully independent environments to shared
+// absolute times — the multi-system clock coordinator the fleet simulation
+// (internal/cluster) is built on. Each member keeps its own event queue,
+// RNG, and processes; Lockstep only synchronizes their clocks at barrier
+// times, so members never observe each other mid-slice.
+//
+// Because members share no state, AdvanceTo may run them concurrently: a
+// worker pool advances every member to the barrier, then waits for all of
+// them before returning. Each member's execution is internally sequential
+// and seeded, so results are byte-identical for any worker count — the
+// same property the sharded campaign runner (internal/campaign) provides
+// for independent cells.
+type Lockstep struct {
+	envs    []*Env
+	workers int
+}
+
+// NewLockstep creates a coordinator over envs advancing with the given
+// worker-pool size (values < 1 mean 1: strictly sequential, in member
+// order).
+func NewLockstep(workers int, envs ...*Env) *Lockstep {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Lockstep{envs: envs, workers: workers}
+}
+
+// Add appends another member environment.
+func (l *Lockstep) Add(e *Env) { l.envs = append(l.envs, e) }
+
+// Members returns the coordinated environments, in member order.
+func (l *Lockstep) Members() []*Env { return l.envs }
+
+// AdvanceTo advances every member to the absolute virtual time t and
+// returns once all have reached it (a barrier). Members already at or
+// past t are untouched. The caller must not touch any member while
+// AdvanceTo is in flight.
+func (l *Lockstep) AdvanceTo(t Time) {
+	if l.workers == 1 || len(l.envs) <= 1 {
+		for _, e := range l.envs {
+			e.RunUntil(t)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := l.workers
+	if workers > len(l.envs) {
+		workers = len(l.envs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				l.envs[i].RunUntil(t)
+			}
+		}()
+	}
+	for i := range l.envs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

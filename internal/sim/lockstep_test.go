@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// A member's events before the barrier run; events after it do not.
+func TestRunUntil(t *testing.T) {
+	e := NewEnv(1)
+	var fired []string
+	e.Schedule(10*time.Millisecond, func() { fired = append(fired, "a") })
+	e.Schedule(30*time.Millisecond, func() { fired = append(fired, "b") })
+
+	if got := e.RunUntil(20 * time.Millisecond); got != 20*time.Millisecond {
+		t.Fatalf("RunUntil reached %v, want 20ms", got)
+	}
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Fatalf("fired = %v, want [a]", fired)
+	}
+	// Idempotent at or before the current clock.
+	if got := e.RunUntil(5 * time.Millisecond); got != 20*time.Millisecond {
+		t.Fatalf("backwards RunUntil moved the clock to %v", got)
+	}
+	e.RunUntil(40 * time.Millisecond)
+	if len(fired) != 2 || fired[1] != "b" {
+		t.Fatalf("fired = %v, want [a b]", fired)
+	}
+}
+
+// lockstepTrace runs N self-rescheduling environments to a shared horizon
+// in slices and returns a deterministic transcript of what each saw.
+func lockstepTrace(workers int) string {
+	const n = 4
+	envs := make([]*Env, n)
+	logs := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		envs[i] = NewEnv(int64(100 + i))
+		period := time.Duration(i+1) * time.Millisecond
+		envs[i].Tick(period, func() {
+			logs[i] += fmt.Sprintf("%d@%v r=%d;", i, envs[i].Now(), envs[i].Rand().Intn(1000))
+		})
+	}
+	ls := NewLockstep(workers, envs...)
+	for bar := 5 * time.Millisecond; bar <= 25*time.Millisecond; bar += 5 * time.Millisecond {
+		ls.AdvanceTo(bar)
+		for i, e := range envs {
+			if e.Now() != bar {
+				logs[i] += fmt.Sprintf("CLOCK-SKEW %v != %v;", e.Now(), bar)
+			}
+		}
+	}
+	out := ""
+	for i := 0; i < n; i++ {
+		out += logs[i] + "\n"
+	}
+	return out
+}
+
+// The lockstep barrier yields byte-identical member transcripts for any
+// worker count — the determinism contract the fleet simulator relies on.
+func TestLockstepWorkerIndependence(t *testing.T) {
+	want := lockstepTrace(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := lockstepTrace(w); got != want {
+			t.Fatalf("workers=%d transcript differs:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+	if want == "" {
+		t.Fatal("empty transcript")
+	}
+}

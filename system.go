@@ -38,6 +38,7 @@ import (
 	"resilientos/internal/kernel"
 	"resilientos/internal/mfs"
 	"resilientos/internal/obs"
+	"resilientos/internal/obs/timeseries"
 	"resilientos/internal/policy"
 	"resilientos/internal/proc"
 	"resilientos/internal/ucode"
@@ -400,15 +401,13 @@ func (sys *System) Run(d time.Duration) time.Duration {
 	return sys.Env.Run(d)
 }
 
-// Every schedules fn to run every interval of virtual time until the
-// simulation ends (the crash-simulation loop of §7.1 uses this).
-func (sys *System) Every(interval time.Duration, fn func()) {
-	var tick func()
-	tick = func() {
-		fn()
-		sys.Env.Schedule(interval, tick)
-	}
-	sys.Env.Schedule(interval, tick)
+// Every schedules fn to run every interval of virtual time, first at
+// now+interval (the crash-simulation loop of §7.1 uses this). It returns
+// a cancelable ticker: stopping it removes the pending event from the
+// queue, so a torn-down node (fleet simulation) or a finished experiment
+// does not keep re-arming kill timers forever.
+func (sys *System) Every(interval time.Duration, fn func()) *sim.Ticker {
+	return sys.Env.Tick(interval, fn)
 }
 
 // After schedules fn once after d of virtual time.
@@ -425,6 +424,87 @@ func (sys *System) KillDriver(label string) {
 // UpdateDriver performs a dynamic update of a running service.
 func (sys *System) UpdateDriver(cfg core.ServiceConfig) {
 	sys.RS.UpdateService(cfg)
+}
+
+// Service classes of the standard machine, for fleet-level health and
+// routing: a class is healthy on a node when its driver and the server
+// fronting it are both live and not mid-recovery.
+const (
+	ClassNet  = "net"  // TCP service via inet + eth.rtl8139
+	ClassDisk = "disk" // file service via vfs/mfs + disk.sata
+)
+
+// Health is a node-level health snapshot derived from the reincarnation
+// server's per-service state — the signal a fleet load balancer routes on.
+type Health struct {
+	NetOK  bool // inet and the primary NIC driver are serving
+	DiskOK bool // vfs/mfs and the disk driver are serving
+
+	Recovering int // guarded services currently mid-recovery
+	GaveUp     int // services RS abandoned (MaxRestarts exhausted)
+	Failures   int // sum of consecutive-failure counts across services
+}
+
+// OK reports whether one service class is currently healthy.
+func (h Health) OK(class string) bool {
+	switch class {
+	case ClassNet:
+		return h.NetOK
+	case ClassDisk:
+		return h.DiskOK
+	}
+	return false
+}
+
+// Health snapshots the system's service health from RS state. A class is
+// healthy when every component on its path (driver and server) is
+// running, not mid-recovery, and not abandoned; subsystems that were
+// disabled at boot report unhealthy.
+func (sys *System) Health() Health {
+	h := Health{NetOK: !sys.cfg.DisableNet, DiskOK: !sys.cfg.DisableDisk}
+	up := make(map[string]bool)
+	for _, s := range sys.RS.Services() {
+		ok := s.Running && !s.Recovering && !s.GaveUp && !s.Stopped
+		up[s.Label] = ok
+		if s.Recovering {
+			h.Recovering++
+		}
+		if s.GaveUp {
+			h.GaveUp++
+		}
+		h.Failures += s.Failures
+	}
+	h.NetOK = h.NetOK && up[ServerInet] && up[DriverRTL8139]
+	h.DiskOK = h.DiskOK && up[ServerVFS] && up[ServerMFS] && up[DriverSATA]
+	return h
+}
+
+// StatusFunc adapts the reincarnation server's service snapshot to the
+// windowed-telemetry status column (timeseries.Config.Status) — the
+// per-node obs hook single-system figure runs and the fleet simulator
+// both sample at window rollovers.
+func (sys *System) StatusFunc() func() []timeseries.ServiceStatus {
+	return func() []timeseries.ServiceStatus {
+		svcs := sys.RS.Services()
+		out := make([]timeseries.ServiceStatus, 0, len(svcs))
+		for _, s := range svcs {
+			state := "dead"
+			switch {
+			case s.Stopped:
+				state = "stopped"
+			case s.GaveUp:
+				state = "gave-up"
+			case s.Recovering:
+				state = "recovering"
+			case s.Running:
+				state = "live"
+			}
+			out = append(out, timeseries.ServiceStatus{
+				Label: s.Label, State: state, Failures: s.Failures,
+			})
+		}
+		return out
+	}
 }
 
 // InetEndpoint resolves the current endpoint of a network server side.
