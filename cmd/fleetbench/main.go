@@ -9,10 +9,19 @@
 // once, or Poisson-faults nodes independently. Output is
 // byte-reproducible from -seed for any -workers value.
 //
+// Campaigns can also be workload-driven (internal/workload): a JSON spec
+// declares per-class client populations, arrival processes (Poisson,
+// Gamma, Weibull, fixed-rate), diurnal rate modulation, sizes, and SLO
+// budgets; -record pins the generated arrival sequence as a tracev2
+// JSONL file and -replay re-drives exactly that sequence, byte-identical
+// for any -workers value.
+//
 //	fleetbench -nodes 4 -policy failure-aware -storm correlated:eth.rtl8139,k=2,every=1s
 //	fleetbench -policy round-robin -storm poisson:disk.sata,mean=800ms,mode=inject
 //	fleetbench -compare -storm correlated:eth.rtl8139    # all policies side by side
 //	fleetbench -seed 11 -csv fleet.csv -bench-json BENCH_fleet.json
+//	fleetbench -workload spec.json -record trace.jsonl   # pin a campaign
+//	fleetbench -replay trace.jsonl -det                  # regression-replay it
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"resilientos/internal/bench"
 	"resilientos/internal/cluster"
 	"resilientos/internal/obs/timeseries"
+	"resilientos/internal/workload"
 )
 
 func main() {
@@ -55,6 +65,13 @@ func run(args []string) error {
 	csvPath := fs.String("csv", "", "write the fleet window series (timeseries CSV) to this file")
 	jsonPath := fs.String("json", "", "write the full campaign report as JSON to this file")
 	benchJSON := fs.String("bench-json", "", "write the machine-readable fleet baseline (BENCH_fleet.json schema) to this file")
+	workloadPath := fs.String("workload", "",
+		"workload spec JSON (internal/workload): declarative per-class arrival\n"+
+			"processes, sizes, and SLO budgets; replaces -rps and the built-in\n"+
+			"mix, and the spec horizon overrides -horizon")
+	recordPath := fs.String("record", "", "write the generated arrival sequence as a tracev2 JSONL trace (requires -workload)")
+	replayPath := fs.String("replay", "", "re-drive a recorded tracev2 trace (exclusive with -workload and -record)")
+	det := fs.Bool("det", false, "zero wall-clock fields in bench output so repeated runs are byte-comparable")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +90,40 @@ func run(args []string) error {
 	}
 	cfg.Storm = st
 
+	switch {
+	case *replayPath != "" && (*workloadPath != "" || *recordPath != ""):
+		return errors.New("fleetbench: -replay is exclusive with -workload and -record")
+	case *recordPath != "" && *workloadPath == "":
+		return errors.New("fleetbench: -record requires -workload")
+	case *workloadPath != "":
+		spec, err := workload.Load(*workloadPath)
+		if err != nil {
+			return err
+		}
+		events := spec.Generate()
+		cfg.Arrivals = events
+		cfg.Classes = spec.ClassNames()
+		cfg.Budgets = spec.Budgets()
+		cfg.WorkloadName = spec.Name
+		cfg.Horizon = time.Duration(spec.Horizon)
+		if *recordPath != "" {
+			if err := workload.WriteTraceFile(*recordPath, spec.TraceHeader(len(events)), events); err != nil {
+				return err
+			}
+			fmt.Printf("recorded %d events to %s\n", len(events), *recordPath)
+		}
+	case *replayPath != "":
+		h, events, err := workload.ReadTraceFile(*replayPath)
+		if err != nil {
+			return err
+		}
+		cfg.Arrivals = events
+		cfg.Classes = h.ClassNames()
+		cfg.Budgets = h.Budgets()
+		cfg.WorkloadName = h.Name
+		cfg.Horizon = time.Duration(h.HorizonNS)
+	}
+
 	if *compare {
 		return runCompare(cfg)
 	}
@@ -89,6 +140,9 @@ func run(args []string) error {
 	wall := time.Since(start).Seconds()
 	r.Render(os.Stdout)
 	fmt.Printf("wall clock: %.2fs\n", wall)
+	if *det {
+		wall = 0
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

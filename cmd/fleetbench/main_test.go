@@ -1,14 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"resilientos/internal/bench/compare"
 )
+
+var update = flag.Bool("update", false, "regenerate the golden trace and campaign outputs in testdata/")
 
 // Every cmd must answer -h with its flag documentation and a clean exit
 // (main treats flag.ErrHelp as success).
@@ -19,11 +23,121 @@ func TestHelp(t *testing.T) {
 }
 
 func TestBadFlags(t *testing.T) {
-	if err := run([]string{"-policy", "bogus", "-horizon", "1s"}); err == nil {
-		t.Fatal("unknown policy accepted")
+	badSpec := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badSpec, []byte(`{"horizon":"1s","classes":[]}`), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	if err := run([]string{"-storm", "hail:everything"}); err == nil {
-		t.Fatal("unknown storm accepted")
+	badTrace := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(badTrace, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown policy", []string{"-policy", "bogus", "-horizon", "1s"}, "policy"},
+		{"unknown storm", []string{"-storm", "hail:everything"}, "storm"},
+		{"unknown flag", []string{"-wrokload", "x.json"}, "flag"},
+		{"record without workload", []string{"-record", "t.jsonl"}, "-record requires -workload"},
+		{"replay plus workload", []string{"-replay", "t.jsonl", "-workload", "w.json"}, "-replay is exclusive"},
+		{"replay plus record", []string{"-replay", "t.jsonl", "-record", "u.jsonl"}, "-replay is exclusive"},
+		{"missing spec file", []string{"-workload", filepath.Join(t.TempDir(), "absent.json")}, "no such file"},
+		{"invalid spec", []string{"-workload", badSpec}, "at least one class"},
+		{"missing trace file", []string{"-replay", filepath.Join(t.TempDir(), "absent.jsonl")}, "no such file"},
+		{"malformed trace", []string{"-replay", badTrace}, "bad header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// goldenArgs are the campaign flags every golden run shares; only the
+// workload source and worker count vary.
+func goldenArgs(dir string, workers string) []string {
+	return []string{
+		"-nodes", "3", "-seed", "11", "-workers", workers,
+		"-storm", "correlated:eth.rtl8139,k=1,every=1500ms",
+		"-window", "200ms", "-det",
+		"-csv", filepath.Join(dir, "fleet.csv"),
+		"-bench-json", filepath.Join(dir, "BENCH_fleet.json"),
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenReplay is the pinned-campaign regression test: the seed-11
+// mixed-class spec records a golden trace, the recording run's outputs
+// match the checked-in goldens, and replaying the golden trace at
+// workers 1, 2, and 8 reproduces them byte for byte. Run with -update
+// to regenerate testdata after an intentional change.
+func TestGoldenReplay(t *testing.T) {
+	const (
+		goldenTrace = "testdata/trace_seed11.jsonl"
+		goldenCSV   = "testdata/fleet_seed11.csv"
+		goldenBench = "testdata/BENCH_fleet_seed11.json"
+	)
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	args := append(goldenArgs(dir, "1"),
+		"-workload", "testdata/workload_seed11.json", "-record", tracePath)
+	if err := run(args); err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+
+	if *update {
+		for _, cp := range [][2]string{
+			{tracePath, goldenTrace},
+			{filepath.Join(dir, "fleet.csv"), goldenCSV},
+			{filepath.Join(dir, "BENCH_fleet.json"), goldenBench},
+		} {
+			if err := os.WriteFile(cp[1], readFile(t, cp[0]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Log("goldens regenerated")
+	}
+
+	if !bytes.Equal(readFile(t, tracePath), readFile(t, goldenTrace)) {
+		t.Error("recorded trace differs from golden (rerun with -update if intentional)")
+	}
+	wantCSV := readFile(t, goldenCSV)
+	wantBench := readFile(t, goldenBench)
+	if !bytes.Equal(readFile(t, filepath.Join(dir, "fleet.csv")), wantCSV) {
+		t.Error("recording run CSV differs from golden")
+	}
+	if !bytes.Equal(readFile(t, filepath.Join(dir, "BENCH_fleet.json")), wantBench) {
+		t.Error("recording run bench doc differs from golden")
+	}
+
+	for _, workers := range []string{"1", "2", "8"} {
+		rdir := t.TempDir()
+		args := append(goldenArgs(rdir, workers), "-replay", goldenTrace)
+		if err := run(args); err != nil {
+			t.Fatalf("replay workers=%s: %v", workers, err)
+		}
+		if !bytes.Equal(readFile(t, filepath.Join(rdir, "fleet.csv")), wantCSV) {
+			t.Errorf("replay workers=%s: CSV differs from golden", workers)
+		}
+		if !bytes.Equal(readFile(t, filepath.Join(rdir, "BENCH_fleet.json")), wantBench) {
+			t.Errorf("replay workers=%s: bench doc differs from golden", workers)
+		}
 	}
 }
 

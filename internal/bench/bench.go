@@ -116,13 +116,22 @@ type Campaign struct {
 	ByFault             []CampaignFault `json:"by_fault"`
 }
 
+// FleetSLO is one class's attainment against its workload-declared
+// latency budget.
+type FleetSLO struct {
+	BudgetMs    float64 `json:"budget_ms"`
+	AttainedPct float64 `json:"attained_pct"` // requests within budget; higher is better
+	WindowPct   float64 `json:"window_pct"`   // windows within budget; higher is better
+}
+
 // FleetClass is one service class's slice of a fleet campaign.
 type FleetClass struct {
 	Class               string    `json:"class"`
 	AvailabilityPct     float64   `json:"availability_pct"`      // higher is better
 	NodeAvailabilityPct float64   `json:"node_availability_pct"` // higher is better
 	Requests            int64     `json:"requests"`
-	Latency             LatencyMs `json:"latency"` // request latency, lower is better
+	Latency             LatencyMs `json:"latency"`       // request latency, lower is better
+	SLO                 *FleetSLO `json:"slo,omitempty"` // nil without a declared budget
 }
 
 // Fleet is the BENCH_fleet.json document: the summary of one
@@ -136,6 +145,7 @@ type Fleet struct {
 	Seed     int64   `json:"seed"`
 	Policy   string  `json:"policy"`
 	Storm    string  `json:"storm"`
+	Workload string  `json:"workload,omitempty"` // driving spec/trace name
 	HorizonS float64 `json:"horizon_s"`
 	WindowMs float64 `json:"window_ms"`
 	Windows  int     `json:"windows"`

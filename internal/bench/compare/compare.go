@@ -241,6 +241,18 @@ func metrics(e Entry) []metric {
 			add("fleet/request_p99_ms", fl.Latency.P99Ms, false)
 		}
 		add("fleet/max_recovery_overlap", float64(fl.MaxRecoveryOverlap), false)
+		for _, cl := range fl.Classes {
+			key := "fleet/class/" + cl.Class
+			if cl.Latency.Count > 0 {
+				add(key+"/request_p50_ms", cl.Latency.P50Ms, false)
+				add(key+"/request_p95_ms", cl.Latency.P95Ms, false)
+				add(key+"/request_p99_ms", cl.Latency.P99Ms, false)
+			}
+			if cl.SLO != nil {
+				add(key+"/slo_attained_pct", cl.SLO.AttainedPct, true)
+				add(key+"/slo_window_pct", cl.SLO.WindowPct, true)
+			}
+		}
 	}
 	for _, f := range e.Figures {
 		key := "figure/" + f.Name

@@ -35,9 +35,19 @@ func baseEntry(label string) Entry {
 		Fleet: &bench.Fleet{
 			Schema: bench.SchemaFleet, Nodes: 4, Seed: 11,
 			Policy: "failure-aware", Storm: "correlated:eth.rtl8139,k=2,every=1s,mode=kill",
+			Workload:        "mixed-seed11",
 			AvailabilityPct: 95, NodeAvailabilityPct: 100, RecoveredPct: 100,
 			Latency:            bench.LatencyMs{Count: 500, P50Ms: 4.5, P99Ms: 60},
 			MaxRecoveryOverlap: 2,
+			Classes: []bench.FleetClass{{
+				Class: "net", AvailabilityPct: 96, Requests: 360,
+				Latency: bench.LatencyMs{Count: 360, P50Ms: 4.2, P95Ms: 7.3, P99Ms: 9.7},
+				SLO:     &bench.FleetSLO{BudgetMs: 25, AttainedPct: 99.4, WindowPct: 95},
+			}, {
+				Class: "disk", AvailabilityPct: 100, Requests: 175,
+				Latency: bench.LatencyMs{Count: 175, P50Ms: 6.8, P95Ms: 12.4, P99Ms: 17.8},
+				SLO:     &bench.FleetSLO{BudgetMs: 40, AttainedPct: 100, WindowPct: 100},
+			}},
 		},
 	}
 }
@@ -120,6 +130,44 @@ func TestDiffFleetRegressionFails(t *testing.T) {
 	cur.Fleet.AvailabilityPct = 100
 	if got := Diff(old, cur, DefaultThresholds).Worst(); got != OK {
 		t.Fatalf("fleet improvement graded %v, want ok", got)
+	}
+}
+
+// TestDiffSLORegressionFails: per-class SLO attainment is higher-better
+// — a synthetic 11% attainment drop must fail, and per-class latency
+// percentiles gate too.
+func TestDiffSLORegressionFails(t *testing.T) {
+	old, cur := baseEntry("good"), baseEntry("missed-slo")
+	cur.Fleet.Classes[0].SLO.AttainedPct = old.Fleet.Classes[0].SLO.AttainedPct * 0.89
+	r := Diff(old, cur, DefaultThresholds)
+	found := false
+	for _, f := range r.Findings {
+		if f.Metric == "fleet/class/net/slo_attained_pct" {
+			found = true
+			if f.Severity != Fail || !f.HigherBetter {
+				t.Errorf("finding = %+v, want higher-better Fail", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fleet/class/net/slo_attained_pct not in report")
+	}
+	if got := r.Worst(); got != Fail {
+		t.Fatalf("11%% SLO attainment drop graded %v, want FAIL", got)
+	}
+
+	old, cur = baseEntry("good"), baseEntry("slow-class")
+	cur.Fleet.Classes[1].Latency.P95Ms = old.Fleet.Classes[1].Latency.P95Ms * 1.2
+	if got := Diff(old, cur, DefaultThresholds).Worst(); got != Fail {
+		t.Fatalf("20%% class p95 growth graded %v, want FAIL", got)
+	}
+
+	// Dropping the SLO block entirely is reported as missing, not ignored.
+	old, cur = baseEntry("good"), baseEntry("no-slo")
+	cur.Fleet.Classes[0].SLO = nil
+	r = Diff(old, cur, DefaultThresholds)
+	if len(r.Missing) == 0 || r.Worst() < Warn {
+		t.Fatalf("dropped SLO block: missing=%v worst=%v, want warn", r.Missing, r.Worst())
 	}
 }
 

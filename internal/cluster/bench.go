@@ -14,6 +14,7 @@ func (r *Report) BenchDoc(wallSeconds float64) *bench.Fleet {
 		Seed:     r.Seed,
 		Policy:   r.Policy,
 		Storm:    r.Storm,
+		Workload: r.Workload,
 		HorizonS: r.Horizon.Seconds(),
 		WindowMs: float64(r.Window.Milliseconds()),
 		Windows:  r.Windows,
@@ -39,13 +40,21 @@ func (r *Report) BenchDoc(wallSeconds float64) *bench.Fleet {
 		WallClockS: wallSeconds,
 	}
 	for _, cr := range r.Classes {
-		fl.Classes = append(fl.Classes, bench.FleetClass{
+		fc := bench.FleetClass{
 			Class:               cr.Class,
 			AvailabilityPct:     cr.AvailabilityPct,
 			NodeAvailabilityPct: cr.NodeAvailabilityPct,
 			Requests:            cr.Requests,
 			Latency:             bench.Latency(cr.Latency),
-		})
+		}
+		if cr.SLO != nil {
+			fc.SLO = &bench.FleetSLO{
+				BudgetMs:    float64(cr.SLO.Budget) / 1e6,
+				AttainedPct: cr.SLO.AttainedPct,
+				WindowPct:   cr.SLO.WindowPct,
+			}
+		}
+		fl.Classes = append(fl.Classes, fc)
 	}
 	return fl
 }

@@ -21,6 +21,7 @@ import (
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/timeseries"
 	"resilientos/internal/sim"
+	"resilientos/internal/workload"
 )
 
 // Config parameterizes one fleet campaign. The zero value is usable:
@@ -49,6 +50,22 @@ type Config struct {
 
 	MaxRestarts int // per-node RS restart budget (0 = unbounded)
 	Workers     int // node-advance parallelism; never changes results (default 1)
+
+	// Arrivals, when non-empty, replaces the built-in Poisson request mix
+	// with an explicit arrival sequence — generated from a workload spec
+	// or replayed from a recorded tracev2 trace. Event times are offsets
+	// from the end of the settle phase; RPS and DiskShare are ignored.
+	Arrivals []workload.Event
+	// Classes lists the routable service classes (default net+disk, the
+	// classic mix). Workload-driven campaigns derive this from the spec;
+	// including the char class boots the character-device subsystem on
+	// every node.
+	Classes []string
+	// Budgets maps a class to its SLO latency budget; classes with a
+	// budget get request- and window-level attainment in the report.
+	Budgets map[string]time.Duration
+	// WorkloadName labels the report with the driving spec or trace.
+	WorkloadName string
 }
 
 // Fill applies defaults and normalizes the geometry: the window is
@@ -106,6 +123,9 @@ func (cfg Config) Fill() Config {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = []string{resilientos.ClassNet, resilientos.ClassDisk}
+	}
 	return cfg
 }
 
@@ -125,6 +145,7 @@ type Cluster struct {
 
 	rng     *rand.Rand // request-path draws (arrival gaps, classes, service times)
 	horizon sim.Time
+	classes []string
 
 	nextReq      int64
 	outstanding  int64
@@ -142,7 +163,15 @@ func New(cfg Config) *Cluster {
 		fleet:     sim.NewEnv(cfg.Seed),
 		reg:       obs.NewRegistry(),
 		horizon:   sim.Time(cfg.Horizon),
-		latencies: map[string][]sim.Time{resilientos.ClassNet: nil, resilientos.ClassDisk: nil},
+		classes:   cfg.Classes,
+		latencies: make(map[string][]sim.Time, len(cfg.Classes)),
+	}
+	withChar := false
+	for _, cl := range cfg.Classes {
+		c.latencies[cl] = nil
+		if cl == resilientos.ClassChar {
+			withChar = true
+		}
 	}
 	c.rng = rand.New(rand.NewSource(cfg.Seed ^ 0x466C656574)) // "Fleet"
 	c.sampler = timeseries.New(timeseries.Config{
@@ -154,7 +183,7 @@ func New(cfg Config) *Cluster {
 	c.rec.SetClock(c.fleet.Now)
 	envs := make([]*sim.Env, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		n := newNode(i, cfg.Seed, cfg.MaxRestarts)
+		n := newNode(i, cfg.Seed, cfg.MaxRestarts, withChar)
 		c.nodes = append(c.nodes, n)
 		envs = append(envs, n.Sys.Env)
 	}
@@ -171,16 +200,15 @@ func (c *Cluster) barrier(t sim.Time) {
 	c.fleet.RunUntil(t)
 	c.lock.AdvanceTo(t)
 	recovering := 0
-	healthy := map[string]int{resilientos.ClassNet: 0, resilientos.ClassDisk: 0}
+	healthy := make(map[string]int, len(c.classes))
 	for _, n := range c.nodes {
 		if n.sampleHealth(t, sim.Time(c.cfg.Warmup)) {
 			recovering++
 		}
-		if n.health.OK(resilientos.ClassNet) {
-			healthy[resilientos.ClassNet]++
-		}
-		if n.health.OK(resilientos.ClassDisk) {
-			healthy[resilientos.ClassDisk]++
+		for _, cl := range c.classes {
+			if n.health.OK(cl) {
+				healthy[cl]++
+			}
 		}
 	}
 	if c.tracker != nil {
@@ -199,8 +227,8 @@ func (c *Cluster) Run() *Report {
 	// start, so availability measures the storm, not the boot.
 	c.barrier(settle)
 
-	classes := []string{resilientos.ClassNet, resilientos.ClassDisk}
-	c.tracker = newTracker(settle, sim.Time(c.cfg.Window), int(c.horizon/sim.Time(c.cfg.Window)), classes)
+	c.tracker = newTracker(settle, sim.Time(c.cfg.Window), int(c.horizon/sim.Time(c.cfg.Window)),
+		c.classes, c.cfg.Budgets)
 	c.sampler.Attach(c.fleet)
 
 	end := settle + c.horizon

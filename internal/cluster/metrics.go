@@ -31,17 +31,30 @@ type tracker struct {
 	bounces    map[string][]int
 	healthySum map[string]int64 // summed healthy counts over barriers
 
+	// SLO accounting, per class with a declared latency budget: sloOver
+	// counts over-budget completions per window, sloWithin/sloTotal count
+	// requests within/of-all completions (including completions landing
+	// in the drain, outside every window).
+	budgets   map[string]sim.Time
+	sloOver   map[string][]int
+	sloWithin map[string]int64
+	sloTotal  map[string]int64
+
 	barriers   int
 	overlapSum int64 // nodes mid-recovery, summed over barriers
 	overlapMax int   // peak concurrently-recovering nodes
 }
 
-func newTracker(start, width sim.Time, windows int, classes []string) *tracker {
+func newTracker(start, width sim.Time, windows int, classes []string, budgets map[string]time.Duration) *tracker {
 	t := &tracker{
 		start: start, width: width, windows: windows, classes: classes,
 		minHealthy: make(map[string][]int, len(classes)),
 		bounces:    make(map[string][]int, len(classes)),
 		healthySum: make(map[string]int64, len(classes)),
+		budgets:    make(map[string]sim.Time, len(budgets)),
+		sloOver:    make(map[string][]int, len(budgets)),
+		sloWithin:  make(map[string]int64, len(budgets)),
+		sloTotal:   make(map[string]int64, len(budgets)),
 	}
 	for _, cl := range classes {
 		mh := make([]int, windows)
@@ -50,6 +63,10 @@ func newTracker(start, width sim.Time, windows int, classes []string) *tracker {
 		}
 		t.minHealthy[cl] = mh
 		t.bounces[cl] = make([]int, windows)
+		if b := budgets[cl]; b > 0 {
+			t.budgets[cl] = sim.Time(b)
+			t.sloOver[cl] = make([]int, windows)
+		}
 	}
 	return t
 }
@@ -89,6 +106,46 @@ func (t *tracker) noteBounce(class string, at sim.Time) {
 	}
 }
 
+// noteComplete scores one completed request against its class's latency
+// budget (no-op for classes without one).
+func (t *tracker) noteComplete(class string, at, lat sim.Time) {
+	b, ok := t.budgets[class]
+	if !ok {
+		return
+	}
+	t.sloTotal[class]++
+	if lat <= b {
+		t.sloWithin[class]++
+	} else if i := t.window(at); i >= 0 {
+		t.sloOver[class][i]++
+	}
+}
+
+// slo summarizes one class's budget attainment, or nil when the class
+// has no budget. AttainedPct is request-level (completions within
+// budget); WindowPct is the fraction of horizon windows without an
+// over-budget completion — the per-window SLO the spec declares.
+func (t *tracker) slo(class string) *SLOReport {
+	b, ok := t.budgets[class]
+	if !ok {
+		return nil
+	}
+	r := &SLOReport{Budget: time.Duration(b), AttainedPct: 100, WindowPct: 100}
+	if n := t.sloTotal[class]; n > 0 {
+		r.AttainedPct = 100 * float64(t.sloWithin[class]) / float64(n)
+	}
+	if t.windows > 0 {
+		met := 0
+		for _, over := range t.sloOver[class] {
+			if over == 0 {
+				met++
+			}
+		}
+		r.WindowPct = 100 * float64(met) / float64(t.windows)
+	}
+	return r
+}
+
 // availability returns, for one class, the fraction of windows that were
 // served (node up at every barrier, zero bounced attempts) and the
 // fraction with at least one healthy node (the policy-independent floor).
@@ -122,6 +179,21 @@ type ClassReport struct {
 	MeanHealthyNodes float64            `json:"mean_healthy_nodes"`
 	Requests         int64              `json:"requests"`
 	Latency          obs.LatencySummary `json:"latency"`
+	// SLO is the class's latency-budget attainment; nil when the campaign
+	// declared no budget for the class.
+	SLO *SLOReport `json:"slo,omitempty"`
+}
+
+// SLOReport is one class's attainment against its declared latency
+// budget.
+type SLOReport struct {
+	// Budget is the spec-declared per-request latency budget.
+	Budget time.Duration `json:"budget_ns"`
+	// AttainedPct is the fraction of completed requests within budget.
+	AttainedPct float64 `json:"attained_pct"`
+	// WindowPct is the fraction of horizon windows in which no completed
+	// request exceeded the budget.
+	WindowPct float64 `json:"window_pct"`
 }
 
 // NodeReport is one node's slice of the fleet report.
@@ -142,13 +214,16 @@ type NodeReport struct {
 // virtual time and the fleet seed, so two runs with the same Config are
 // byte-identical after JSON encoding.
 type Report struct {
-	Nodes   int           `json:"nodes"`
-	Seed    int64         `json:"seed"`
-	Policy  string        `json:"policy"`
-	Storm   string        `json:"storm"`
-	Horizon time.Duration `json:"horizon_ns"`
-	Window  time.Duration `json:"window_ns"`
-	Windows int           `json:"windows"`
+	Nodes  int    `json:"nodes"`
+	Seed   int64  `json:"seed"`
+	Policy string `json:"policy"`
+	Storm  string `json:"storm"`
+	// Workload names the driving workload spec or trace ("" for the
+	// classic built-in mix).
+	Workload string        `json:"workload,omitempty"`
+	Horizon  time.Duration `json:"horizon_ns"`
+	Window   time.Duration `json:"window_ns"`
+	Windows  int           `json:"windows"`
 
 	// AvailabilityPct is the headline number: fraction of windows in which
 	// EVERY service class was served (see ClassReport.AvailabilityPct).
@@ -185,13 +260,14 @@ type Report struct {
 // buildReport assembles the Report after the drain phase.
 func (c *Cluster) buildReport() *Report {
 	r := &Report{
-		Nodes:   len(c.nodes),
-		Seed:    c.cfg.Seed,
-		Policy:  c.policy.Name(),
-		Storm:   c.cfg.Storm.String(),
-		Horizon: time.Duration(c.horizon),
-		Window:  time.Duration(c.cfg.Window),
-		Windows: c.tracker.windows,
+		Nodes:    len(c.nodes),
+		Seed:     c.cfg.Seed,
+		Policy:   c.policy.Name(),
+		Storm:    c.cfg.Storm.String(),
+		Workload: c.cfg.WorkloadName,
+		Horizon:  time.Duration(c.horizon),
+		Window:   time.Duration(c.cfg.Window),
+		Windows:  c.tracker.windows,
 	}
 
 	allServed := 100.0
@@ -212,6 +288,7 @@ func (c *Cluster) buildReport() *Report {
 			MeanHealthyNodes:    mean,
 			Requests:            int64(len(c.latencies[cl])),
 			Latency:             obs.Summarize(c.latencies[cl]),
+			SLO:                 c.tracker.slo(cl),
 		})
 		pool = append(pool, c.latencies[cl]...)
 	}
@@ -279,13 +356,21 @@ func (r *Report) WriteJSON(w io.Writer) error {
 func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "fleet: %d nodes, seed %d, policy %s, storm %s\n",
 		r.Nodes, r.Seed, r.Policy, r.Storm)
+	if r.Workload != "" {
+		fmt.Fprintf(w, "workload: %s\n", r.Workload)
+	}
 	fmt.Fprintf(w, "horizon %s in %d windows of %s\n", r.Horizon, r.Windows, r.Window)
 	fmt.Fprintf(w, "availability: %.2f%% served (node floor %.2f%%)\n",
 		r.AvailabilityPct, r.NodeAvailabilityPct)
 	for _, cr := range r.Classes {
-		fmt.Fprintf(w, "  class %-5s %7.2f%% served, %6.2f%% node, mean healthy %.2f, %d reqs, p50 %s p99 %s\n",
+		fmt.Fprintf(w, "  class %-5s %7.2f%% served, %6.2f%% node, mean healthy %.2f, %d reqs, p50 %s p95 %s p99 %s\n",
 			cr.Class, cr.AvailabilityPct, cr.NodeAvailabilityPct, cr.MeanHealthyNodes,
-			cr.Requests, time.Duration(cr.Latency.P50), time.Duration(cr.Latency.P99))
+			cr.Requests, time.Duration(cr.Latency.P50), time.Duration(cr.Latency.P95),
+			time.Duration(cr.Latency.P99))
+		if cr.SLO != nil {
+			fmt.Fprintf(w, "        slo %s budget: %.2f%% of requests, %.2f%% of windows\n",
+				cr.SLO.Budget, cr.SLO.AttainedPct, cr.SLO.WindowPct)
+		}
 	}
 	fmt.Fprintf(w, "requests: %d arrived, %d completed, %d incomplete, %d reroutes (%d requests rerouted)\n",
 		r.Requests, r.Completed, r.Incomplete, r.Reroutes, r.ReroutedReqs)
@@ -315,8 +400,13 @@ func (c *Cluster) statusFunc() func() []timeseries.ServiceStatus {
 				state = "gave-up"
 			case h.Recovering > 0:
 				state = "recovering"
-			case !h.NetOK || !h.DiskOK:
-				state = "dead"
+			default:
+				for _, cl := range c.classes {
+					if !h.OK(cl) {
+						state = "dead"
+						break
+					}
+				}
 			}
 			out = append(out, timeseries.ServiceStatus{
 				Label:    n.Name,

@@ -52,7 +52,7 @@ type Node struct {
 }
 
 // classOf maps a guarded service label to the fleet service class it
-// carries, or "" for services outside both routable classes.
+// carries, or "" for services outside the routable classes.
 func classOf(label string) string {
 	switch {
 	case strings.HasPrefix(label, "eth.") || label == resilientos.ServerInet:
@@ -60,6 +60,8 @@ func classOf(label string) string {
 	case strings.HasPrefix(label, "disk.") ||
 		label == resilientos.ServerVFS || label == resilientos.ServerMFS:
 		return resilientos.ClassDisk
+	case strings.HasPrefix(label, "chr."):
+		return resilientos.ClassChar
 	}
 	return ""
 }
@@ -81,10 +83,10 @@ func deriveSeed(fleetSeed int64, index int) int64 {
 	return s
 }
 
-// newNode boots one member system. Nodes run the network and disk stacks
-// (the two routable service classes); the character devices are skipped
-// to keep fleet runs lean.
-func newNode(index int, fleetSeed int64, maxRestarts int) *Node {
+// newNode boots one member system. Nodes always run the network and disk
+// stacks; the character devices boot only when the campaign's class set
+// routes char jobs (withChar), keeping classic fleet runs lean.
+func newNode(index int, fleetSeed int64, maxRestarts int, withChar bool) *Node {
 	seed := deriveSeed(fleetSeed, index)
 	n := &Node{
 		Index: index,
@@ -92,11 +94,11 @@ func newNode(index int, fleetSeed int64, maxRestarts int) *Node {
 		Seed:  seed,
 		Sys: resilientos.New(resilientos.Config{
 			Seed:        seed,
-			DisableChar: true,
+			DisableChar: !withChar,
 			MaxRestarts: maxRestarts,
 		}),
 		injector:    fi.New(rand.New(rand.NewSource(seed ^ 0x5DEECE66D))),
-		warmupUntil: make(map[string]sim.Time, 2),
+		warmupUntil: make(map[string]sim.Time, 3),
 	}
 	return n
 }
@@ -125,6 +127,10 @@ func (n *Node) sampleHealth(now, warmup sim.Time) bool {
 	}
 	if now < n.warmupUntil[resilientos.ClassDisk] {
 		h.DiskOK = false
+		warming = true
+	}
+	if now < n.warmupUntil[resilientos.ClassChar] {
+		h.CharOK = false
 		warming = true
 	}
 	n.health = h

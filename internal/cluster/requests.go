@@ -5,6 +5,7 @@ import (
 
 	"resilientos"
 	"resilientos/internal/sim"
+	"resilientos/internal/workload"
 )
 
 // request is one fleet-level client request. Requests are synthetic at
@@ -15,14 +16,20 @@ import (
 // simulation exists to measure.
 type request struct {
 	id       int64
-	class    string // resilientos.ClassNet or ClassDisk
+	class    string // resilientos.ClassNet, ClassDisk, or ClassChar
 	arrival  sim.Time
+	size     int64 // request payload bytes (0 for the classic built-in mix)
 	reroutes int
 }
 
-// armArrivals starts the Poisson arrival chain on the fleet clock. The
-// chain self-schedules until the campaign horizon.
+// armArrivals starts the request source on the fleet clock: an explicit
+// workload sequence when the campaign carries one, otherwise the classic
+// built-in Poisson net/disk mix. Both self-limit to the campaign horizon.
 func (c *Cluster) armArrivals(until sim.Time) {
+	if len(c.cfg.Arrivals) > 0 {
+		c.armWorkload(until)
+		return
+	}
 	if c.cfg.RPS <= 0 {
 		return
 	}
@@ -42,7 +49,34 @@ func (c *Cluster) armArrivals(until sim.Time) {
 	c.fleet.Schedule(sim.Time(c.rng.ExpFloat64()*mean), next)
 }
 
-// arrive creates one request and dispatches it.
+// armWorkload drives the explicit arrival sequence: event i fires at
+// settle+T_i. The chain keeps one pending timer instead of flooding the
+// event heap with the whole trace, and batches all events that share a
+// timestamp. Trace order is arrival order, so a recorded campaign
+// replays exactly — the generator's own random stream never touches the
+// cluster RNG, which keeps service-time draws identical between a
+// recording run and its replay.
+func (c *Cluster) armWorkload(until sim.Time) {
+	events := c.cfg.Arrivals
+	base := c.fleet.Now() // the settle barrier
+	i := 0
+	var pump func()
+	pump = func() {
+		now := c.fleet.Now()
+		for i < len(events) && base+events[i].T <= now {
+			if now < until {
+				c.arriveEvent(events[i])
+			}
+			i++
+		}
+		if i < len(events) && base+events[i].T < until {
+			c.fleet.Schedule(base+events[i].T-now, pump)
+		}
+	}
+	pump()
+}
+
+// arrive creates one request of the classic built-in mix.
 func (c *Cluster) arrive() {
 	class := resilientos.ClassNet
 	if c.rng.Float64() < c.cfg.DiskShare {
@@ -56,9 +90,50 @@ func (c *Cluster) arrive() {
 	c.dispatch(r)
 }
 
-// serviceTime draws a deterministic service time for one attempt: a
-// per-class base cost plus exponential jitter from the fleet RNG.
-func (c *Cluster) serviceTime(class string) sim.Time {
+// arriveEvent admits one workload event as a request.
+func (c *Cluster) arriveEvent(ev workload.Event) {
+	c.nextReq++
+	r := &request{id: c.nextReq, class: ev.Class, arrival: c.fleet.Now(), size: ev.Size}
+	c.outstanding++
+	c.reg.Counter("fleet.arrivals").Add(1)
+	c.reg.Counter("fleet.arrivals." + ev.Class).Add(1)
+	c.dispatch(r)
+}
+
+// Per-class service-cost model for sized (workload-driven) requests: a
+// fixed per-request base, a size-proportional transfer term, and
+// exponential jitter. Bandwidths are ns-per-byte.
+const (
+	netBase  = 1 * time.Millisecond
+	diskBase = 3 * time.Millisecond
+	charBase = 4 * time.Millisecond
+)
+
+var nsPerByte = map[string]float64{
+	resilientos.ClassNet:  1e9 / (16 << 20), // 16 MiB/s
+	resilientos.ClassDisk: 1e9 / (32 << 20), // 32 MiB/s
+	resilientos.ClassChar: 1e9 / (1 << 20),  // 1 MiB/s
+}
+
+// serviceTime draws a deterministic service time for one attempt. Sized
+// requests (workload mode) pay base + size/bandwidth + jitter; the
+// classic mix keeps its original per-class formula so legacy campaigns
+// stay byte-identical.
+func (c *Cluster) serviceTime(class string, size int64) sim.Time {
+	if size > 0 {
+		var base sim.Time
+		var jitter time.Duration
+		switch class {
+		case resilientos.ClassDisk:
+			base, jitter = sim.Time(diskBase), 2500*time.Microsecond
+		case resilientos.ClassChar:
+			base, jitter = sim.Time(charBase), 2000*time.Microsecond
+		default:
+			base, jitter = sim.Time(netBase), 1500*time.Microsecond
+		}
+		return base + sim.Time(float64(size)*nsPerByte[class]) +
+			sim.Time(c.rng.ExpFloat64()*float64(jitter))
+	}
 	if class == resilientos.ClassDisk {
 		return 6*time.Millisecond + sim.Time(c.rng.ExpFloat64()*float64(2500*time.Microsecond))
 	}
@@ -78,7 +153,7 @@ func (c *Cluster) dispatch(r *request) {
 		c.bounce(r, n, "sick")
 		return
 	}
-	st := c.serviceTime(r.class)
+	st := c.serviceTime(r.class, r.size)
 	c.fleet.Schedule(st, func() { c.finish(r, n) })
 }
 
@@ -113,6 +188,7 @@ func (c *Cluster) finish(r *request, n *Node) {
 	c.reg.Counter("fleet.complete").Add(1)
 	lat := c.fleet.Now() - r.arrival
 	c.latencies[r.class] = append(c.latencies[r.class], lat)
+	c.tracker.noteComplete(r.class, c.fleet.Now(), lat)
 	if r.reroutes > 0 {
 		c.reroutedReqs++
 	}

@@ -1,0 +1,132 @@
+package workload
+
+// The statistical battery: every arrival process must actually sample
+// its declared distribution. For each process and each of three seeds we
+// draw N=50k unit-mean gaps and check the sample mean and coefficient of
+// variation against the family's analytic values, then separate Poisson
+// from fixed-rate with a Kolmogorov–Smirnov distance against the Exp(1)
+// CDF. A broken sampler (wrong normalisation, biased squeeze, shape
+// plumbing dropped) trips a band; a correct one passes for every seed.
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+const statN = 50000
+
+var statSeeds = []int64{3, 11, 77}
+
+// sample draws n unit-mean gaps from the process for one seed.
+func sample(t *testing.T, p process, seed int64, n int) []float64 {
+	t.Helper()
+	r := stream(seed, 0, 0)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.gap(r)
+		if out[i] < 0 || math.IsNaN(out[i]) || math.IsInf(out[i], 0) {
+			t.Fatalf("draw %d invalid: %v", i, out[i])
+		}
+	}
+	return out
+}
+
+func meanCV(xs []float64) (mean, cv float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(xs)-1))
+	return mean, sd / mean
+}
+
+// weibullCV is the analytic CV of a Weibull with shape k:
+// sqrt(Gamma(1+2/k)/Gamma(1+1/k)^2 - 1). Computed here independently of
+// the sampler so a normalisation bug cannot cancel out.
+func weibullCV(k float64) float64 {
+	g1 := math.Gamma(1 + 1/k)
+	g2 := math.Gamma(1 + 2/k)
+	return math.Sqrt(g2/(g1*g1) - 1)
+}
+
+func TestProcessMoments(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       process
+		wantCV  float64
+		meanTol float64 // relative
+		cvTol   float64 // absolute
+	}{
+		{"fixed", fixedProcess{}, 0, 0, 0},
+		{"poisson", poissonProcess{}, 1, 0.02, 0.025},
+		{"gamma k=4", gammaProcess{shape: 4}, 0.5, 0.02, 0.02},
+		{"gamma k=0.5", gammaProcess{shape: 0.5}, math.Sqrt2, 0.03, 0.06},
+		{"weibull k=1.5", newWeibull(1.5), weibullCV(1.5), 0.02, 0.02},
+		{"weibull k=0.8", newWeibull(0.8), weibullCV(0.8), 0.03, 0.06},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range statSeeds {
+				mean, cv := meanCV(sample(t, tc.p, seed, statN))
+				if math.Abs(mean-1) > tc.meanTol {
+					t.Errorf("seed %d: mean %.4f, want 1 +-%.3f", seed, mean, tc.meanTol)
+				}
+				if math.Abs(cv-tc.wantCV) > tc.cvTol {
+					t.Errorf("seed %d: CV %.4f, want %.4f +-%.3f", seed, cv, tc.wantCV, tc.cvTol)
+				}
+			}
+		})
+	}
+}
+
+// ksExp computes the Kolmogorov–Smirnov distance between the sample and
+// the Exp(1) CDF.
+func ksExp(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		cdf := 1 - math.Exp(-x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if v := math.Abs(cdf - lo); v > d {
+			d = v
+		}
+		if v := math.Abs(cdf - hi); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// TestPoissonVsFixedSeparability: the Poisson sampler must match Exp(1)
+// to within KS distance 0.01 at N=50k (the 1% critical value is ~0.0073),
+// while the degenerate fixed-rate sampler must sit far from it — so the
+// battery can tell the two processes apart, not just rubber-stamp both.
+func TestPoissonVsFixedSeparability(t *testing.T) {
+	for _, seed := range statSeeds {
+		if d := ksExp(sample(t, poissonProcess{}, seed, statN)); d > 0.01 {
+			t.Errorf("seed %d: poisson KS distance vs Exp(1) = %.4f, want <= 0.01", seed, d)
+		}
+		if d := ksExp(sample(t, fixedProcess{}, seed, statN)); d < 0.3 {
+			t.Errorf("seed %d: fixed-rate KS distance vs Exp(1) = %.4f, want >= 0.3", seed, d)
+		}
+	}
+}
+
+// TestGammaShapeOne: gamma with shape 1 is exactly the exponential, so
+// its KS distance against Exp(1) must pass the same band as Poisson.
+func TestGammaShapeOne(t *testing.T) {
+	for _, seed := range statSeeds {
+		if d := ksExp(sample(t, gammaProcess{shape: 1}, seed, statN)); d > 0.01 {
+			t.Errorf("seed %d: gamma(1) KS distance vs Exp(1) = %.4f, want <= 0.01", seed, d)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"resilientos/internal/sim"
+)
+
+// Format is the trace format identifier; the parser rejects anything
+// else, so a stale v1-era file cannot silently replay wrong.
+const Format = "resilientos/trace/v2"
+
+// maxTraceLine bounds one trace line; longer lines are a parse error,
+// not an unbounded allocation.
+const maxTraceLine = 1 << 20
+
+// TraceClass is one class entry of a trace header: the class name plus
+// the SLO budget the recording campaign declared for it (0 = none), so
+// a replay reproduces the recorded SLO accounting without the spec.
+type TraceClass struct {
+	Class string   `json:"class"`
+	SLONs sim.Time `json:"slo_ns"`
+}
+
+// Header is the first line of a tracev2 file. It carries everything a
+// replayer needs: provenance (spec name and seed), the campaign horizon,
+// the class set with budgets, and the event count (so truncation is an
+// error, not a quietly shorter campaign).
+type Header struct {
+	Format    string       `json:"format"`
+	Name      string       `json:"name"`
+	Seed      int64        `json:"seed"`
+	HorizonNS sim.Time     `json:"horizon_ns"`
+	Classes   []TraceClass `json:"classes"`
+	Events    int          `json:"events"`
+}
+
+// Budgets converts the header's class budgets to the cluster-facing map
+// (zero budgets omitted).
+func (h Header) Budgets() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, c := range h.Classes {
+		if c.SLONs > 0 {
+			out[c.Class] = time.Duration(c.SLONs)
+		}
+	}
+	return out
+}
+
+// ClassNames returns the header's class names in declaration order.
+func (h Header) ClassNames() []string {
+	out := make([]string, len(h.Classes))
+	for i, c := range h.Classes {
+		out[i] = c.Class
+	}
+	return out
+}
+
+// TraceHeader builds the header describing this spec's generated
+// sequence of n events.
+func (s *Spec) TraceHeader(n int) Header {
+	h := Header{
+		Format:    Format,
+		Name:      s.Name,
+		Seed:      s.Seed,
+		HorizonNS: sim.Time(s.Horizon),
+		Events:    n,
+	}
+	for _, cs := range s.Classes {
+		h.Classes = append(h.Classes, TraceClass{Class: cs.Class, SLONs: sim.Time(cs.SLO)})
+	}
+	return h
+}
+
+// WriteTrace writes a canonical tracev2 stream: the header line, then
+// one JSON object per event. Field order is fixed by the struct types
+// and numbers are plain integers, so identical inputs always produce
+// identical bytes. The header's Events field is forced to len(events).
+func WriteTrace(w io.Writer, h Header, events []Event) error {
+	h.Format = Format
+	h.Events = len(events)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for i := range events {
+		if err := enc.Encode(events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile writes the trace to path.
+func WriteTraceFile(path string, h Header, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, h, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrace parses a tracev2 stream strictly: the first line must be a
+// valid header with the exact format identifier; every following line
+// must be one event with a non-decreasing timestamp inside the horizon,
+// a class declared in the header, and non-negative client and size; and
+// the event count must match the header. Any violation is an error with
+// its line number — malformed input can never panic or half-load.
+func ReadTrace(r io.Reader) (Header, []Event, error) {
+	var h Header
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTraceLine)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, nil, fmt.Errorf("workload: trace line 1: %w", err)
+		}
+		return h, nil, fmt.Errorf("workload: trace is empty")
+	}
+	if err := strictUnmarshal(sc.Bytes(), &h); err != nil {
+		return h, nil, fmt.Errorf("workload: trace line 1: bad header: %w", err)
+	}
+	if h.Format != Format {
+		return h, nil, fmt.Errorf("workload: trace line 1: format %q, want %q", h.Format, Format)
+	}
+	if h.HorizonNS <= 0 {
+		return h, nil, fmt.Errorf("workload: trace line 1: horizon_ns must be positive")
+	}
+	if h.Events < 0 {
+		return h, nil, fmt.Errorf("workload: trace line 1: negative event count")
+	}
+	if len(h.Classes) == 0 {
+		return h, nil, fmt.Errorf("workload: trace line 1: no classes declared")
+	}
+	classes := make(map[string]bool, len(h.Classes))
+	for _, c := range h.Classes {
+		if !KnownClass(c.Class) {
+			return h, nil, fmt.Errorf("workload: trace line 1: unknown class %q", c.Class)
+		}
+		if classes[c.Class] {
+			return h, nil, fmt.Errorf("workload: trace line 1: class %q declared twice", c.Class)
+		}
+		if c.SLONs < 0 {
+			return h, nil, fmt.Errorf("workload: trace line 1: class %q: negative slo_ns", c.Class)
+		}
+		classes[c.Class] = true
+	}
+
+	var events []Event
+	line := 1
+	var prev sim.Time
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(bytes.TrimSpace(b)) == 0 {
+			return h, nil, fmt.Errorf("workload: trace line %d: blank line", line)
+		}
+		var ev Event
+		if err := strictUnmarshal(b, &ev); err != nil {
+			return h, nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		switch {
+		case ev.T < 0:
+			return h, nil, fmt.Errorf("workload: trace line %d: negative vtime %d", line, ev.T)
+		case ev.T < prev:
+			return h, nil, fmt.Errorf("workload: trace line %d: vtime %d out of order (previous %d)", line, ev.T, prev)
+		case ev.T >= h.HorizonNS:
+			return h, nil, fmt.Errorf("workload: trace line %d: vtime %d beyond horizon %d", line, ev.T, h.HorizonNS)
+		case !classes[ev.Class]:
+			return h, nil, fmt.Errorf("workload: trace line %d: class %q not declared in header", line, ev.Class)
+		case ev.Client < 0:
+			return h, nil, fmt.Errorf("workload: trace line %d: negative client %d", line, ev.Client)
+		case ev.Size < 0:
+			return h, nil, fmt.Errorf("workload: trace line %d: negative size %d", line, ev.Size)
+		}
+		prev = ev.T
+		events = append(events, ev)
+		if len(events) > h.Events {
+			return h, nil, fmt.Errorf("workload: trace line %d: more events than the header's %d", line, h.Events)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, fmt.Errorf("workload: trace line %d: %w", line+1, err)
+	}
+	if len(events) != h.Events {
+		return h, nil, fmt.Errorf("workload: trace truncated: header declares %d events, found %d", h.Events, len(events))
+	}
+	return h, events, nil
+}
+
+// ReadTraceFile parses the trace at path.
+func ReadTraceFile(path string) (Header, []Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields and
+// trailing garbage.
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON object")
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func traceFixture(t *testing.T) (Header, []Event) {
+	t.Helper()
+	s, err := Parse([]byte(specMixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := s.Generate()
+	return s.TraceHeader(len(events)), events
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	h, events := traceFixture(t)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.Bytes()
+
+	gotH, gotE, err := ReadTrace(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotH, h) {
+		t.Fatalf("header round-trip: got %+v, want %+v", gotH, h)
+	}
+	if !reflect.DeepEqual(gotE, events) {
+		t.Fatal("events did not round-trip")
+	}
+
+	// Re-encoding the parsed trace must reproduce the bytes exactly —
+	// the canonical form is a fixed point.
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, gotH, gotE); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("re-encoded trace differs from the original bytes")
+	}
+}
+
+func TestWriteTraceForcesCount(t *testing.T) {
+	h, events := traceFixture(t)
+	h.Events = 999999 // lie; WriteTrace must correct it
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	gotH, _, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH.Events != len(events) {
+		t.Fatalf("header events = %d, want %d", gotH.Events, len(events))
+	}
+}
+
+const validHeader = `{"format":"resilientos/trace/v2","name":"t","seed":1,"horizon_ns":1000000000,"classes":[{"class":"net","slo_ns":0}],"events":1}`
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name, trace, want string
+	}{
+		{"empty", "", "trace is empty"},
+		{"garbage header", "not json\n", "bad header"},
+		{"unknown header field", `{"format":"resilientos/trace/v2","horizon_ns":1,"classes":[{"class":"net","slo_ns":0}],"events":0,"extra":1}` + "\n", "bad header"},
+		{"wrong format", `{"format":"resilientos/trace/v1","horizon_ns":1,"classes":[{"class":"net","slo_ns":0}],"events":0}` + "\n", `format "resilientos/trace/v1"`},
+		{"no horizon", `{"format":"resilientos/trace/v2","classes":[{"class":"net","slo_ns":0}],"events":0}` + "\n", "horizon_ns must be positive"},
+		{"negative count", `{"format":"resilientos/trace/v2","horizon_ns":1,"classes":[{"class":"net","slo_ns":0}],"events":-1}` + "\n", "negative event count"},
+		{"no classes", `{"format":"resilientos/trace/v2","horizon_ns":1,"classes":[],"events":0}` + "\n", "no classes declared"},
+		{"unknown class", `{"format":"resilientos/trace/v2","horizon_ns":1,"classes":[{"class":"gpu","slo_ns":0}],"events":0}` + "\n", `unknown class "gpu"`},
+		{"dup class", `{"format":"resilientos/trace/v2","horizon_ns":1,"classes":[{"class":"net","slo_ns":0},{"class":"net","slo_ns":0}],"events":0}` + "\n", "declared twice"},
+		{"negative slo", `{"format":"resilientos/trace/v2","horizon_ns":1,"classes":[{"class":"net","slo_ns":-5}],"events":0}` + "\n", "negative slo_ns"},
+		{"garbage event", validHeader + "\nnope\n", "line 2"},
+		{"unknown event field", validHeader + "\n" + `{"t":1,"class":"net","client":0,"size":1,"x":2}` + "\n", "line 2"},
+		{"trailing data", validHeader + "\n" + `{"t":1,"class":"net","client":0,"size":1} {}` + "\n", "trailing data"},
+		{"blank line", validHeader + "\n\n" + `{"t":1,"class":"net","client":0,"size":1}` + "\n", "blank line"},
+		{"negative vtime", validHeader + "\n" + `{"t":-1,"class":"net","client":0,"size":1}` + "\n", "negative vtime"},
+		{"beyond horizon", validHeader + "\n" + `{"t":1000000000,"class":"net","client":0,"size":1}` + "\n", "beyond horizon"},
+		{"undeclared class", validHeader + "\n" + `{"t":1,"class":"disk","client":0,"size":1}` + "\n", `class "disk" not declared`},
+		{"negative client", validHeader + "\n" + `{"t":1,"class":"net","client":-1,"size":1}` + "\n", "negative client"},
+		{"negative size", validHeader + "\n" + `{"t":1,"class":"net","client":0,"size":-1}` + "\n", "negative size"},
+		{"truncated", validHeader + "\n", "trace truncated"},
+		{"too many events", validHeader + "\n" + `{"t":1,"class":"net","client":0,"size":1}` + "\n" + `{"t":2,"class":"net","client":0,"size":1}` + "\n", "more events than"},
+		{"out of order", strings.Replace(validHeader, `"events":1`, `"events":2`, 1) + "\n" +
+			`{"t":5,"class":"net","client":0,"size":1}` + "\n" + `{"t":4,"class":"net","client":0,"size":1}` + "\n", "out of order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadTrace(strings.NewReader(tc.trace))
+			if err == nil {
+				t.Fatalf("trace accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadTraceLineCap(t *testing.T) {
+	long := validHeader + "\n" + `{"t":1,"class":"net","client":0,"size":1,"pad":"` +
+		strings.Repeat("x", maxTraceLine) + `"}` + "\n"
+	if _, _, err := ReadTrace(strings.NewReader(long)); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+}
+
+// FuzzTraceParse hammers the strict parser: whatever the input, it must
+// return an error or a trace that survives a canonical re-encode +
+// re-parse round trip — and never panic.
+func FuzzTraceParse(f *testing.F) {
+	f.Add([]byte(validHeader + "\n" + `{"t":1,"class":"net","client":0,"size":1}` + "\n"))
+	f.Add([]byte(validHeader + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"format":"resilientos/trace/v2"}`))
+	f.Add([]byte(`{"format":"resilientos/trace/v1","horizon_ns":1,"classes":[{"class":"net","slo_ns":0}],"events":0}` + "\n"))
+	f.Add([]byte(validHeader + "\n" + `{"t":999999999999,"class":"net","client":0,"size":1}` + "\n"))
+	f.Add([]byte(validHeader + "\n" + `{"t":-1,"class":"gpu","client":-1,"size":-1}` + "\n"))
+	f.Add([]byte(strings.Replace(validHeader, `"events":1`, `"events":2`, 1) + "\n" +
+		`{"t":5,"class":"net","client":0,"size":1}` + "\n" + `{"t":4,"class":"net","client":0,"size":1}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, events, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must be canonical fixed points.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, h, events); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		h2, events2, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(h, h2) || !reflect.DeepEqual(events, events2) {
+			t.Fatal("accepted trace did not round-trip")
+		}
+	})
+}

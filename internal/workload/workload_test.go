@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientos/internal/sim"
+)
+
+const specMixed = `{
+  "name": "mixed",
+  "seed": 11,
+  "horizon": "4s",
+  "classes": [
+    {"class": "net", "clients": 4, "rps": 80, "arrival": {"process": "poisson"}, "slo": "25ms"},
+    {"class": "disk", "clients": 2, "rps": 40, "arrival": {"process": "gamma", "shape": 4}, "slo": "40ms"},
+    {"class": "char", "rps": 10, "arrival": {"process": "weibull", "shape": 1.5}}
+  ]
+}`
+
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse([]byte(specMixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mixed" || s.Seed != 11 {
+		t.Fatalf("name/seed = %q/%d", s.Name, s.Seed)
+	}
+	if got := time.Duration(s.Horizon); got != 4*time.Second {
+		t.Fatalf("horizon = %v", got)
+	}
+	if got := s.ClassNames(); !reflect.DeepEqual(got, []string{"net", "disk", "char"}) {
+		t.Fatalf("classes = %v", got)
+	}
+	// Unset knobs default: one client, family shape 1, per-class sizes.
+	if s.Classes[2].Clients != 1 {
+		t.Fatalf("char clients = %d, want default 1", s.Classes[2].Clients)
+	}
+	if s.Classes[0].Size != defaultSizes[ClassNet] || s.Classes[2].Size != defaultSizes[ClassChar] {
+		t.Fatalf("default sizes not applied: %+v / %+v", s.Classes[0].Size, s.Classes[2].Size)
+	}
+	want := map[string]time.Duration{"net": 25 * time.Millisecond, "disk": 40 * time.Millisecond}
+	if got := s.Budgets(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("budgets = %v, want %v", got, want)
+	}
+}
+
+func TestParseMinimalDefaults(t *testing.T) {
+	s, err := Parse([]byte(`{"horizon": "1s", "classes": [{"class": "net", "rps": 5, "arrival": {"process": "fixed"}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "workload" || s.Seed != 1 {
+		t.Fatalf("defaults: name=%q seed=%d", s.Name, s.Seed)
+	}
+	if len(s.Budgets()) != 0 {
+		t.Fatalf("no SLO declared but budgets = %v", s.Budgets())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"garbage", `{`, "parse spec"},
+		{"trailing", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"fixed"}}]} {}`, "trailing data"},
+		{"unknown field", `{"horizon":"1s","rsp":5,"classes":[]}`, "unknown field"},
+		{"no horizon", `{"classes":[{"class":"net","rps":1,"arrival":{"process":"fixed"}}]}`, "horizon must be positive"},
+		{"bad duration", `{"horizon":"4 furlongs","classes":[]}`, "bad duration"},
+		{"no classes", `{"horizon":"1s","classes":[]}`, "at least one class"},
+		{"unknown class", `{"horizon":"1s","classes":[{"class":"gpu","rps":1,"arrival":{"process":"fixed"}}]}`, "unknown class"},
+		{"dup class", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"fixed"}},{"class":"net","rps":1,"arrival":{"process":"fixed"}}]}`, "declared twice"},
+		{"zero rps", `{"horizon":"1s","classes":[{"class":"net","rps":0,"arrival":{"process":"fixed"}}]}`, "rps must be positive"},
+		{"negative clients", `{"horizon":"1s","classes":[{"class":"net","clients":-2,"rps":1,"arrival":{"process":"fixed"}}]}`, "clients must be positive"},
+		{"no process", `{"horizon":"1s","classes":[{"class":"net","rps":1}]}`, "arrival.process required"},
+		{"unknown process", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"pareto"}}]}`, "unknown arrival process"},
+		{"poisson shape", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"poisson","shape":2}}]}`, "takes no shape"},
+		{"negative shape", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"gamma","shape":-1}}]}`, "shape must be positive"},
+		{"bad size range", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"fixed"},"size":{"min":100,"max":10}}]}`, "size range"},
+		{"negative slo", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"fixed"},"slo":"-5ms"}]}`, "slo must be non-negative"},
+		{"zero period", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"fixed"},"periods":[{"period":"0s","amplitude":0.5}]}]}`, "period must be positive"},
+		{"negative amplitude", `{"horizon":"1s","classes":[{"class":"net","rps":1,"arrival":{"process":"fixed"},"periods":[{"period":"1s","amplitude":-0.5}]}]}`, "amplitude must be non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.spec))
+			if err == nil {
+				t.Fatalf("spec accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	// Nanosecond integers and Go duration strings are the same duration.
+	a, err := Parse([]byte(`{"horizon": 1000000000, "classes": [{"class":"net","rps":5,"arrival":{"process":"fixed"}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse([]byte(`{"horizon": "1s", "classes": [{"class":"net","rps":5,"arrival":{"process":"fixed"}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Horizon != b.Horizon {
+		t.Fatalf("horizons differ: %d vs %d", a.Horizon, b.Horizon)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s, err := Parse([]byte(specMixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Generate(), s.Generate()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations of the same spec differ")
+	}
+	if len(a) == 0 {
+		t.Fatal("no events generated")
+	}
+
+	other := *s
+	other.Seed = 12
+	c := other.Generate()
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical sequences")
+	}
+}
+
+func TestGenerateOrderedInHorizon(t *testing.T) {
+	s, err := Parse([]byte(specMixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sim.Time(s.Horizon)
+	sizes := map[string]SizeSpec{}
+	for _, cs := range s.Classes {
+		sizes[cs.Class] = cs.Size
+	}
+	var prev sim.Time
+	for i, ev := range s.Generate() {
+		if ev.T < prev {
+			t.Fatalf("event %d out of order: %d after %d", i, ev.T, prev)
+		}
+		if ev.T <= 0 || ev.T >= horizon {
+			t.Fatalf("event %d outside (0, horizon): %d", i, ev.T)
+		}
+		sz := sizes[ev.Class]
+		if ev.Size < sz.Min || ev.Size > sz.Max {
+			t.Fatalf("event %d size %d outside [%d, %d]", i, ev.Size, sz.Min, sz.Max)
+		}
+		prev = ev.T
+	}
+}
+
+// TestGenerateRate checks end-to-end rate conformance: a 200 rps Poisson
+// spec over 50 virtual seconds must land within 5% of 10k events.
+func TestGenerateRate(t *testing.T) {
+	spec := `{"seed": 7, "horizon": "50s", "classes": [
+      {"class": "net", "clients": 8, "rps": 200, "arrival": {"process": "poisson"}}]}`
+	s, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(s.Generate()))
+	want := 200.0 * 50
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("generated %.0f events, want %.0f +-5%%", got, want)
+	}
+}
+
+// TestDiurnalModulation splits a one-period sinusoidal workload into its
+// peak and trough halves; the peak half must carry clearly more arrivals.
+func TestDiurnalModulation(t *testing.T) {
+	spec := `{"seed": 3, "horizon": "10s", "classes": [
+      {"class": "net", "clients": 4, "rps": 400, "arrival": {"process": "poisson"},
+       "periods": [{"period": "10s", "amplitude": 0.8}]}]}`
+	s, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sin is positive on the first half-period and negative on the second.
+	half := sim.Time(5 * time.Second)
+	var peak, trough int
+	for _, ev := range s.Generate() {
+		if ev.T < half {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if trough == 0 {
+		t.Fatal("trough half empty — floor failed")
+	}
+	if ratio := float64(peak) / float64(trough); ratio < 2 {
+		t.Fatalf("peak/trough ratio %.2f, want > 2 (peak %d, trough %d)", ratio, peak, trough)
+	}
+}
+
+func TestModAtFloor(t *testing.T) {
+	periods := []Period{{Period: Duration(time.Second), Amplitude: 10}}
+	// At 3/4 period the sine is -1: 1 - 10 would be negative without the floor.
+	if got := modAt(periods, sim.Time(750*time.Millisecond)); got != 0.05 {
+		t.Fatalf("modAt floor = %v, want 0.05", got)
+	}
+	if got := modAt(nil, 123); got != 1 {
+		t.Fatalf("modAt(nil) = %v, want 1", got)
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	// Distinct (class, client) chains must not share a stream.
+	seen := map[int64]string{}
+	for ci := 0; ci < 3; ci++ {
+		for cl := 0; cl < 4; cl++ {
+			v := stream(11, ci, cl).Int63()
+			key := fmt.Sprintf("class %d client %d", ci, cl)
+			if prev, ok := seen[v]; ok {
+				t.Fatalf("%s collides with %s", key, prev)
+			}
+			seen[v] = key
+		}
+	}
+}

@@ -432,6 +432,7 @@ func (sys *System) UpdateDriver(cfg core.ServiceConfig) {
 const (
 	ClassNet  = "net"  // TCP service via inet + eth.rtl8139
 	ClassDisk = "disk" // file service via vfs/mfs + disk.sata
+	ClassChar = "char" // character-device jobs via the chr.* drivers
 )
 
 // Health is a node-level health snapshot derived from the reincarnation
@@ -439,6 +440,7 @@ const (
 type Health struct {
 	NetOK  bool // inet and the primary NIC driver are serving
 	DiskOK bool // vfs/mfs and the disk driver are serving
+	CharOK bool // every character-device driver is serving
 
 	Recovering int // guarded services currently mid-recovery
 	GaveUp     int // services RS abandoned (MaxRestarts exhausted)
@@ -452,6 +454,8 @@ func (h Health) OK(class string) bool {
 		return h.NetOK
 	case ClassDisk:
 		return h.DiskOK
+	case ClassChar:
+		return h.CharOK
 	}
 	return false
 }
@@ -461,7 +465,8 @@ func (h Health) OK(class string) bool {
 // running, not mid-recovery, and not abandoned; subsystems that were
 // disabled at boot report unhealthy.
 func (sys *System) Health() Health {
-	h := Health{NetOK: !sys.cfg.DisableNet, DiskOK: !sys.cfg.DisableDisk}
+	h := Health{NetOK: !sys.cfg.DisableNet, DiskOK: !sys.cfg.DisableDisk,
+		CharOK: !sys.cfg.DisableChar}
 	up := make(map[string]bool)
 	for _, s := range sys.RS.Services() {
 		ok := s.Running && !s.Recovering && !s.GaveUp && !s.Stopped
@@ -476,6 +481,7 @@ func (sys *System) Health() Health {
 	}
 	h.NetOK = h.NetOK && up[ServerInet] && up[DriverRTL8139]
 	h.DiskOK = h.DiskOK && up[ServerVFS] && up[ServerMFS] && up[DriverSATA]
+	h.CharOK = h.CharOK && up[DriverAudio] && up[DriverPrinter] && up[DriverBurner]
 	return h
 }
 
