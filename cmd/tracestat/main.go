@@ -15,6 +15,7 @@
 // -intervals conventions as cmd/throughput:
 //
 //	tracestat fig7.jsonl
+//	tracestat -decisions base.jsonl   # summarize a recovery decision log (cmd/whatif)
 //	tracestat -exp fig7 -seed 11      # run Fig. 7 in-process, no file needed
 //	tracestat -spans fig7.jsonl       # also dump every recovery span
 //	tracestat -comp eth.rtl8139 trace.jsonl
@@ -57,6 +58,7 @@ func run(args []string) error {
 	top := fs.Int("top", 10, "rows in the span-profile table (0 disables)")
 	folded := fs.String("folded", "", "write the folded-stacks flamegraph profile to this file")
 	perfetto := fs.String("perfetto", "", "write the Chrome trace-event JSON export to this file")
+	decisions := fs.Bool("decisions", false, "treat the trace file as a recovery decision log (obs/decision JSONL): defect-class/action matrix, per-class latency, give-ups")
 	exp := fs.String("exp", "", "with no trace file: run this experiment in-process (fig7 or fig8) and summarize its events")
 	seed := fs.Int64("seed", 1, "simulation seed for an in-process -exp run")
 	sizeMB := fs.Int64("size", 16, "transfer size in MB for an in-process -exp run")
@@ -76,6 +78,13 @@ func run(args []string) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *decisions {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return fmt.Errorf("-decisions needs exactly one decision-log file")
+		}
+		return runDecisions(fs.Arg(0))
 	}
 	var events []obs.Event
 	switch {

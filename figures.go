@@ -10,6 +10,7 @@ import (
 	"resilientos/internal/bench"
 	"resilientos/internal/hw"
 	"resilientos/internal/obs"
+	"resilientos/internal/obs/decision"
 	"resilientos/internal/obs/timeseries"
 )
 
@@ -32,6 +33,12 @@ type FigureConfig struct {
 	Interval time.Duration // kill interval (0 = uninterrupted)
 	Seed     int64
 	Window   time.Duration // sampler window width
+
+	// Decisions, if set, receives the run's recovery decision trace
+	// (the golden seed-11 decision log is recorded through this). Note
+	// figure runs disable span kinds, so decision events carry no
+	// trace/span linkage.
+	Decisions *decision.Recorder
 }
 
 // FigurePoint is one window of the throughput curve. T is the window's
@@ -142,6 +149,7 @@ func RunFigure(cfg FigureConfig) FigureResult {
 	} else {
 		sysCfg = Config{Seed: cfg.Seed, DisableDisk: true, DisableChar: true, Obs: rec}
 	}
+	sysCfg.Decisions = cfg.Decisions
 	sys := New(sysCfg)
 	sampler := timeseries.New(timeseries.Config{
 		Window:   cfg.Window,

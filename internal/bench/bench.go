@@ -20,6 +20,7 @@ const (
 	SchemaCampaign   = "resilientos/bench/campaign/v1"
 	SchemaFigure     = "resilientos/bench/figure/v1"
 	SchemaFleet      = "resilientos/bench/fleet/v1"
+	SchemaDecisions  = "resilientos/bench/decisions/v1"
 )
 
 // LatencyMs is a recovery-latency distribution in virtual milliseconds.
@@ -170,6 +171,32 @@ type Fleet struct {
 
 	WallClockS float64      `json:"wall_clock_s"`
 	Classes    []FleetClass `json:"classes"`
+}
+
+// DecisionVariant is one knob configuration of a counterfactual sweep:
+// the baseline, or one override re-run of the same recorded campaign.
+type DecisionVariant struct {
+	Name            string    `json:"name"` // "baseline" or the override spec
+	Crashes         int       `json:"crashes"`
+	Recovered       int       `json:"recovered"`
+	GaveUp          int       `json:"gave_up"`
+	AvailabilityPct float64   `json:"availability_pct"` // higher is better
+	Events          int       `json:"events"`           // decision-trace length
+	Recovery        LatencyMs `json:"recovery"`
+}
+
+// Decisions is the BENCH_decisions.json document: the summary of one
+// cmd/whatif counterfactual sweep over a recorded campaign. The baseline
+// feeds the regression gate (availability, give-ups, recovery p95);
+// override variants are trended but not gated — they exist to show what
+// each knob costs, not to pin it.
+type Decisions struct {
+	Schema     string            `json:"schema"`
+	Spec       string            `json:"spec"` // canonical baseline scenario
+	Workers    int               `json:"workers"`
+	WallClockS float64           `json:"wall_clock_s"`
+	Baseline   DecisionVariant   `json:"baseline"`
+	Overrides  []DecisionVariant `json:"overrides"`
 }
 
 // WriteFile marshals v as indented JSON (plus trailing newline) to path.

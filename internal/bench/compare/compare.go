@@ -29,12 +29,13 @@ type Entry struct {
 	Campaign   *bench.Campaign   `json:"campaign,omitempty"`
 	Figures    []bench.Figure    `json:"figures,omitempty"`
 	Fleet      *bench.Fleet      `json:"fleet,omitempty"`
+	Decisions  *bench.Decisions  `json:"decisions,omitempty"`
 }
 
 // Empty reports whether the entry carries no documents at all.
 func (e Entry) Empty() bool {
 	return e.Throughput == nil && e.Campaign == nil && len(e.Figures) == 0 &&
-		e.Fleet == nil
+		e.Fleet == nil && e.Decisions == nil
 }
 
 // LoadEntry gathers the baseline documents found in dir
@@ -72,6 +73,12 @@ func LoadEntry(dir, label string) (Entry, error) {
 		return e, err
 	} else if ok {
 		e.Fleet = &fl
+	}
+	var dc bench.Decisions
+	if ok, err := load(filepath.Join(dir, "BENCH_decisions.json"), &dc); err != nil {
+		return e, err
+	} else if ok {
+		e.Decisions = &dc
 	}
 	figs, err := filepath.Glob(filepath.Join(dir, "BENCH_fig*.json"))
 	if err != nil {
@@ -252,6 +259,15 @@ func metrics(e Entry) []metric {
 				add(key+"/slo_attained_pct", cl.SLO.AttainedPct, true)
 				add(key+"/slo_window_pct", cl.SLO.WindowPct, true)
 			}
+		}
+	}
+	if d := e.Decisions; d != nil {
+		// Only the baseline variant is gated; overrides are
+		// counterfactuals and may move by design.
+		add("decisions/baseline/availability_pct", d.Baseline.AvailabilityPct, true)
+		add("decisions/baseline/give_ups", float64(d.Baseline.GaveUp), false)
+		if d.Baseline.Recovery.Count > 0 {
+			add("decisions/baseline/recovery_p95_ms", d.Baseline.Recovery.P95Ms, false)
 		}
 	}
 	for _, f := range e.Figures {

@@ -49,6 +49,19 @@ func baseEntry(label string) Entry {
 				SLO:     &bench.FleetSLO{BudgetMs: 40, AttainedPct: 100, WindowPct: 100},
 			}},
 		},
+		Decisions: &bench.Decisions{
+			Schema: bench.SchemaDecisions,
+			Spec:   "seeds=11 victims=eth.rtl8139 faults=bit-flip per-cell=10",
+			Baseline: bench.DecisionVariant{
+				Name: "baseline", Crashes: 9, Recovered: 9,
+				AvailabilityPct: 99.2, Events: 120,
+				Recovery: bench.LatencyMs{Count: 9, P95Ms: 95},
+			},
+			Overrides: []bench.DecisionVariant{{
+				Name: "budget=1", Crashes: 9, Recovered: 2, GaveUp: 1,
+				AvailabilityPct: 42.5, Events: 60,
+			}},
+		},
 	}
 }
 
@@ -275,5 +288,43 @@ func TestReportText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestDiffDecisionsRegression(t *testing.T) {
+	// Baseline availability and give-ups are gated; override variants are
+	// counterfactuals and must not be.
+	old, cur := baseEntry("a"), baseEntry("b")
+	cur.Decisions.Baseline.AvailabilityPct *= 0.8
+	cur.Decisions.Baseline.GaveUp = 3
+	cur.Decisions.Overrides[0].AvailabilityPct = 1 // should not matter
+	r := Diff(old, cur, DefaultThresholds)
+	if got := r.Worst(); got != Fail {
+		var buf bytes.Buffer
+		r.WriteText(&buf)
+		t.Fatalf("decisions regression graded %v, want FAIL:\n%s", got, buf.String())
+	}
+	for _, f := range r.Findings {
+		if strings.Contains(f.Metric, "override") {
+			t.Fatalf("override variant gated: %+v", f)
+		}
+	}
+}
+
+func TestLoadEntryDecisions(t *testing.T) {
+	dir := t.TempDir()
+	e := baseEntry("")
+	if err := bench.WriteFile(filepath.Join(dir, "BENCH_decisions.json"), e.Decisions); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEntry(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decisions == nil || got.Decisions.Baseline.AvailabilityPct != 99.2 {
+		t.Fatalf("decisions document not loaded: %+v", got.Decisions)
+	}
+	if len(got.Decisions.Overrides) != 1 || got.Decisions.Overrides[0].Name != "budget=1" {
+		t.Fatalf("overrides lost: %+v", got.Decisions.Overrides)
 	}
 }

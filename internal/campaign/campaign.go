@@ -33,6 +33,8 @@ import (
 	"resilientos/internal/core"
 	"resilientos/internal/fi"
 	"resilientos/internal/obs"
+	"resilientos/internal/obs/decision"
+	"resilientos/internal/policy"
 	"resilientos/internal/sim"
 )
 
@@ -77,6 +79,30 @@ type Config struct {
 	// Progress, if set, is called after each finished cell with
 	// (done, total). Calls are serialized but unordered across cells.
 	Progress func(done, total int)
+
+	// The recovery knobs below parameterize every cell's system — the
+	// counterfactual levers cmd/whatif sweeps. Zero values keep the
+	// standard machine (500ms heartbeat, 3 misses, unlimited restarts,
+	// no policy script).
+
+	// HeartbeatPeriod overrides the driver heartbeat period (0 = the
+	// standard 500ms; negative disables heartbeats entirely).
+	HeartbeatPeriod time.Duration
+	// HeartbeatMisses overrides consecutive misses before a driver is
+	// declared stuck (0 = the standard 3).
+	HeartbeatMisses int
+	// MaxRestarts bounds consecutive recoveries per driver (0 = forever).
+	MaxRestarts int
+	// Policy / PolicyParams attach a recovery policy script to the
+	// network drivers (disk drivers always restart directly, §6.2).
+	Policy       *policy.Script
+	PolicyParams []string
+
+	// Decisions attaches a recovery-decision recorder to every cell: the
+	// per-cell trace lands in CellResult.Decisions, the merged log (with
+	// cell-boundary marks) in Report.DecisionLog, and victim availability
+	// is derived from the detect→terminal downtime windows.
+	Decisions bool
 }
 
 // Seq returns seeds 1..n.
@@ -162,6 +188,11 @@ type CellResult struct {
 	LastInjection fi.Injection
 	HasInjection  bool
 	Violations    []ViolationReport
+
+	// Decision-trace results (cfg.Decisions only).
+	Decisions []decision.Event // the cell's full decision trace
+	Downtime  sim.Time         // victim detect→terminal windows, summed
+	Horizon   sim.Time         // measured interval (post-settle to end)
 }
 
 // Run executes the whole matrix and merges per-cell results in cell-index
@@ -221,13 +252,26 @@ func runCell(cell Cell, cfg Config) CellResult {
 	// per-frame IPC kinds dominate trace volume and are dropped.
 	rec.Disable(obs.KindIPCSend, obs.KindIPCRecv)
 
+	var decSink *decision.SliceSink
+	var decRec *decision.Recorder
+	if cfg.Decisions {
+		decSink = &decision.SliceSink{}
+		decRec = decision.NewRecorder(decSink)
+	}
+
 	disk := cell.Victim == resilientos.DriverSATA
 	syscfg := resilientos.Config{
-		Seed:        cell.Seed,
-		Obs:         rec,
-		DisableChar: true,
-		DisableDisk: !disk,
-		DisableNet:  disk,
+		Seed:            cell.Seed,
+		Obs:             rec,
+		Decisions:       decRec,
+		DisableChar:     true,
+		DisableDisk:     !disk,
+		DisableNet:      disk,
+		HeartbeatPeriod: cfg.HeartbeatPeriod,
+		HeartbeatMisses: cfg.HeartbeatMisses,
+		MaxRestarts:     cfg.MaxRestarts,
+		NetPolicy:       cfg.Policy,
+		NetPolicyParams: cfg.PolicyParams,
 	}
 	if disk {
 		syscfg.PreallocFiles = []resilientos.PreallocFile{{Name: "/campaign", Size: 16 << 20}}
@@ -242,9 +286,13 @@ func runCell(cell Cell, cfg Config) CellResult {
 			DS:        sys.DS,
 			TraceTail: cfg.TraceTail,
 		})
+		if decRec != nil {
+			decRec.AddSink(ck.DecisionSink())
+		}
 	}
 
 	sys.Run(3 * time.Second) // boot settle
+	measureStart := sys.Env.Now()
 	startWorkload(sys, cell.Victim)
 
 	injector := fi.New(sys.Env.Rand())
@@ -291,12 +339,29 @@ func runCell(cell Cell, cfg Config) CellResult {
 	// Let the final crash (if any) resolve; policy backoff can hold a
 	// restart for a few seconds.
 	sys.Run(5 * time.Second)
+	if cfg.Decisions {
+		// The decision log must end with every episode closed (both the
+		// offline verifier and the live checker flag an open one), so
+		// wait out policy backoff until recovery quiesces. Idle virtual
+		// time is nearly free; the bound only guards a wedged recovery,
+		// which the checker then rightly reports.
+		for extra := 0; extra < 300 && anyRecovering(sys); extra++ {
+			sys.Run(time.Second)
+		}
+	}
 	harvest()
 
 	// Recovery latency is the paper's end-to-end span — defect detected to
 	// first dependent server rebound to the fresh instance — stitched from
 	// the trace, not RS bookkeeping (which only covers detect→respawn).
 	res.Latencies = obs.RecoveryLatencies(obs.Timeline(events.Events()), cell.Victim)
+
+	if decSink != nil {
+		end := sys.Env.Now()
+		res.Decisions = decSink.Events()
+		res.Horizon = end - measureStart
+		res.Downtime = downtime(res.Decisions, cell.Victim, end)
+	}
 
 	if ck != nil {
 		ck.Finish()
@@ -311,6 +376,47 @@ func runCell(cell Cell, cfg Config) CellResult {
 		}
 	}
 	return res
+}
+
+// anyRecovering reports whether any guarded service is mid-recovery.
+func anyRecovering(sys *resilientos.System) bool {
+	for _, s := range sys.RS.Services() {
+		if s.Recovering {
+			return true
+		}
+	}
+	return false
+}
+
+// downtime sums the victim's unavailability windows from a decision
+// trace: a detect opens a window, the episode's terminal decision closes
+// it, and an episode still open at the horizon end counts up to the end
+// (a gave-up driver is down for the rest of the run).
+func downtime(events []decision.Event, victim string, end sim.Time) sim.Time {
+	var total sim.Time
+	var openAt sim.Time
+	open := false
+	for _, e := range events {
+		if e.Service != victim {
+			continue
+		}
+		switch e.Kind {
+		case decision.KindDetect:
+			if !open {
+				open = true
+				openAt = e.T
+			}
+		case decision.KindOutcome:
+			if open {
+				total += e.T - openAt
+				open = false
+			}
+		}
+	}
+	if open && end > openAt {
+		total += end - openAt
+	}
+	return total
 }
 
 // startWorkload drives continuous I/O through the victim so injected
@@ -378,6 +484,24 @@ type Report struct {
 	Crashes    int
 	Recovered  int
 	GaveUp     int
+
+	// Decision-trace aggregates (cfg.Decisions only). DecisionLog is the
+	// per-cell traces concatenated in cell-index order, each prefixed by
+	// a mark event (svc "campaign", action "cell", detail = the cell
+	// spec) — so the merged log is byte-identical for any worker count
+	// and offline verifiers reset state at each cell boundary.
+	DecisionLog []decision.Event
+	Downtime    sim.Time
+	Horizon     sim.Time
+}
+
+// Availability is the victim-service availability over the summed
+// measurement horizon, as a percentage (100 when nothing was measured).
+func (r *Report) Availability() float64 {
+	if r.Horizon <= 0 {
+		return 100
+	}
+	return 100 * (1 - float64(r.Downtime)/float64(r.Horizon))
 }
 
 func merge(cfg Config, results []CellResult) *Report {
@@ -406,6 +530,15 @@ func merge(cfg Config, results []CellResult) *Report {
 		r.Recovered += res.Recovered
 		r.GaveUp += res.GaveUp
 		r.Violations = append(r.Violations, res.Violations...)
+		if cfg.Decisions {
+			r.DecisionLog = append(r.DecisionLog, decision.Event{
+				Kind: decision.KindMark, Service: "campaign",
+				Action: "cell", Detail: res.Cell.String(),
+			})
+			r.DecisionLog = append(r.DecisionLog, res.Decisions...)
+			r.Downtime += res.Downtime
+			r.Horizon += res.Horizon
+		}
 	}
 	return r
 }
@@ -454,6 +587,12 @@ func (r *Report) Render(w io.Writer) {
 		}
 		renderHist(w, a.Hist)
 		fmt.Fprintln(w)
+	}
+
+	if cfg.Decisions {
+		fmt.Fprintf(w, "decision trace: %d events; victim availability %.3f%% (downtime %v over %v)\n",
+			len(r.DecisionLog), r.Availability(),
+			time.Duration(r.Downtime), time.Duration(r.Horizon))
 	}
 
 	if len(r.Violations) == 0 {

@@ -7,6 +7,7 @@ import (
 
 	"resilientos"
 	"resilientos/internal/fi"
+	"resilientos/internal/obs/decision"
 )
 
 func TestSeq(t *testing.T) {
@@ -135,5 +136,94 @@ func TestProgressSerialized(t *testing.T) {
 	Run(cfg)
 	if len(calls) != 4 || calls[len(calls)-1] != 4 {
 		t.Fatalf("progress calls = %v", calls)
+	}
+}
+
+// TestDecisionLogWorkerIndependent extends the determinism contract to
+// the merged decision trace: the encoded log (including cell-boundary
+// marks) must be byte-identical for any worker count, well-formed under
+// the offline verifier, and carry a sane availability figure.
+func TestDecisionLogWorkerIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell campaign in -short mode")
+	}
+	cfg := testConfig(1)
+	cfg.Decisions = true
+	seq := Run(cfg)
+	cfg = testConfig(8)
+	cfg.Decisions = true
+	par := Run(cfg)
+
+	a, b := decision.Encode(seq.DecisionLog), decision.Encode(par.DecisionLog)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("-workers=1 and -workers=8 decision logs differ (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(seq.DecisionLog) == 0 {
+		t.Fatal("campaign with Decisions produced an empty log")
+	}
+	if problems := decision.Check(seq.DecisionLog); len(problems) != 0 {
+		t.Fatalf("merged decision log ill-formed: %v", problems)
+	}
+	// Cell-boundary marks: one per cell, in canonical order.
+	var marks []string
+	for _, e := range seq.DecisionLog {
+		if e.Kind == decision.KindMark {
+			marks = append(marks, e.Detail)
+		}
+	}
+	cells := Cells(cfg)
+	if len(marks) != len(cells) {
+		t.Fatalf("got %d cell marks, want %d", len(marks), len(cells))
+	}
+	for i, c := range cells {
+		if marks[i] != c.String() {
+			t.Fatalf("mark %d = %q, want %q", i, marks[i], c.String())
+		}
+	}
+	if seq.Horizon <= 0 {
+		t.Fatal("no measurement horizon")
+	}
+	av := seq.Availability()
+	if av <= 0 || av > 100 {
+		t.Fatalf("availability = %v", av)
+	}
+	// Direct restarts complete in the same virtual instant as detection,
+	// so downtime can be zero even with crashes; it must never be
+	// negative or exceed the horizon.
+	if seq.Downtime < 0 || seq.Downtime > seq.Horizon {
+		t.Fatalf("downtime %v outside [0, %v]", seq.Downtime, seq.Horizon)
+	}
+}
+
+// TestCampaignKnobsChangeBehavior: the counterfactual knobs must be
+// plumbed through to the per-cell system — a capped restart budget shows
+// up as give-ups in the report and in the decision trace.
+func TestCampaignKnobsChangeBehavior(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	cfg := Config{
+		Seeds:         []int64{7},
+		Victims:       []string{resilientos.DriverDP8390},
+		FaultTypes:    []fi.FaultType{fi.FaultBitFlip},
+		FaultsPerCell: 8,
+		MaxRestarts:   1,
+		Decisions:     true,
+	}
+	rep := Run(cfg)
+	if rep.Crashes < 2 {
+		t.Skipf("seed produced only %d crashes; cannot exercise budget", rep.Crashes)
+	}
+	if rep.GaveUp == 0 {
+		t.Fatal("MaxRestarts=1 produced no give-ups")
+	}
+	gaveUp := 0
+	for _, e := range rep.DecisionLog {
+		if e.Kind == decision.KindOutcome && e.Action == "gave-up" {
+			gaveUp++
+		}
+	}
+	if gaveUp != rep.GaveUp {
+		t.Fatalf("decision trace has %d gave-up outcomes, report says %d", gaveUp, rep.GaveUp)
 	}
 }

@@ -28,6 +28,11 @@
 //     must have been orphaned by the kernel's reaper; an open span with
 //     a live owner is a request legitimately still in flight, unless
 //     StrictSpanLeaks is set).
+//   - decision: the recovery-decision log (internal/obs/decision) is
+//     consistent with the episode lifecycle — no action, policy step, or
+//     terminal outcome outside an open recovery episode
+//     (decision-without-episode), and every crash's episode ends with
+//     exactly one terminal decision (episode-without-terminal-decision).
 //
 // Violations carry the virtual time and a one-line detail; the checker
 // also keeps a bounded tail of recent trace events so a campaign can turn
@@ -46,6 +51,7 @@ import (
 	"resilientos/internal/core"
 	"resilientos/internal/kernel"
 	"resilientos/internal/obs"
+	"resilientos/internal/obs/decision"
 	"resilientos/internal/sim"
 )
 
@@ -121,7 +127,7 @@ type Config struct {
 // Violation is one invariant failure.
 type Violation struct {
 	T         sim.Time
-	Invariant string // "rs-guard", "endpoint-unique", "stale-endpoint", "grant-safety", "heartbeat", "trace-span", "span-leak", "window-monotonic"
+	Invariant string // "rs-guard", "endpoint-unique", "stale-endpoint", "grant-safety", "heartbeat", "trace-span", "span-leak", "window-monotonic", "decision"
 	Comp      string // component label the violation is about
 	Detail    string
 }
@@ -147,6 +153,8 @@ type Checker struct {
 	deadSince      map[string]sim.Time  // label -> first seen dead-while-running
 	staleGrants    map[grantKey]int     // grant -> step first seen with dead grantee
 	openCausal     map[int64]causalSpan // causal span ID -> begin info (span-leak)
+	openDecisions  map[string]sim.Time  // label -> decision-level detect time
+	openDecPolicy  map[string]sim.Time  // label -> decision-level policy-run time
 
 	// Per-step scratch state, reused to keep the every-step scans
 	// allocation-free.
@@ -214,6 +222,8 @@ func New(cfg Config) *Checker {
 		deadSince:      make(map[string]sim.Time),
 		staleGrants:    make(map[grantKey]int),
 		openCausal:     make(map[int64]causalSpan),
+		openDecisions:  make(map[string]sim.Time),
+		openDecPolicy:  make(map[string]sim.Time),
 		seenEp:         make(map[kernel.Endpoint]string),
 		seenLabel:      make(map[string]kernel.Endpoint),
 		liveStale:      make(map[grantKey]bool),
@@ -271,6 +281,8 @@ func (c *Checker) Emit(e obs.Event) {
 		c.openSpans = make(map[string]sim.Time)
 		c.openPolicies = make(map[string]sim.Time)
 		c.openCausal = make(map[int64]causalSpan)
+		c.openDecisions = make(map[string]sim.Time)
+		c.openDecPolicy = make(map[string]sim.Time)
 	case obs.KindSpanBegin:
 		if prev, dup := c.openCausal[e.Span]; dup {
 			c.report(fmt.Sprintf("spanbegin:%d", e.Span), "span-leak", e.Comp,
@@ -301,6 +313,62 @@ func (c *Checker) Emit(e obs.Event) {
 	case obs.KindPublish:
 		// Aux is the published name (V2=1 marks a withdraw).
 		delete(c.pendingPublish, e.Aux)
+	}
+}
+
+// DecisionSink returns the sink to attach to a decision.Recorder
+// (decision.Recorder.AddSink); every recovery-decision event then flows
+// through the decision invariant.
+func (c *Checker) DecisionSink() decision.Sink { return decisionSink{c} }
+
+// decisionSink adapts the checker to decision.Sink (the checker itself
+// already implements obs.Sink with an incompatible Emit).
+type decisionSink struct{ c *Checker }
+
+func (s decisionSink) Emit(e decision.Event) { s.c.onDecision(e) }
+
+// onDecision maintains the decision-level episode state machine: detect
+// opens, exactly one outcome closes, actions and policy steps must fall
+// inside. Triggers are pre-episode by design and always allowed. Marks
+// reset the state via the obs-side KindMark case — but decision logs can
+// carry their own marks too (whatif cell boundaries), handled here.
+func (c *Checker) onDecision(e decision.Event) {
+	switch e.Kind {
+	case decision.KindMark:
+		c.openDecisions = make(map[string]sim.Time)
+		c.openDecPolicy = make(map[string]sim.Time)
+	case decision.KindTrigger:
+		// Pre-episode by design.
+	case decision.KindDetect:
+		c.openDecisions[e.Service] = e.T
+		c.clearKey("decact:" + e.Service)
+		c.clearKey("decterm:" + e.Service)
+	case decision.KindAction:
+		if _, open := c.openDecisions[e.Service]; !open {
+			c.report("decact:"+e.Service, "decision", e.Service,
+				fmt.Sprintf("decision-without-episode: action %q at %v outside an open recovery episode",
+					e.Action, time.Duration(e.T)))
+		}
+		if e.Action == "policy-run" {
+			c.openDecPolicy[e.Service] = e.T
+		}
+	case decision.KindPolicyStep:
+		if _, open := c.openDecPolicy[e.Service]; !open {
+			c.report("decstep:"+e.Service, "decision", e.Service,
+				fmt.Sprintf("decision-without-episode: policy step %q at %v outside a policy run",
+					e.Action, time.Duration(e.T)))
+		}
+		if e.Action == "exit" {
+			delete(c.openDecPolicy, e.Service)
+			c.clearKey("decstep:" + e.Service)
+		}
+	case decision.KindOutcome:
+		if _, open := c.openDecisions[e.Service]; !open {
+			c.report("decterm:"+e.Service, "decision", e.Service,
+				fmt.Sprintf("decision-without-episode: terminal decision %q at %v without an open episode (missing detect, or a second terminal)",
+					e.Action, time.Duration(e.T)))
+		}
+		delete(c.openDecisions, e.Service)
 	}
 }
 
@@ -354,6 +422,11 @@ func (c *Checker) Finish() {
 		c.report("finish-policy:"+comp, "trace-span", comp,
 			fmt.Sprintf("policy script started at %v never exited",
 				time.Duration(c.openPolicies[comp])))
+	}
+	for _, comp := range sortedTimeKeys(c.openDecisions) {
+		c.report("finish-decision:"+comp, "decision", comp,
+			fmt.Sprintf("episode-without-terminal-decision: crash detected at %v has no terminal decision",
+				time.Duration(c.openDecisions[comp])))
 	}
 	for _, id := range sortedSpanIDs(c.openCausal) {
 		sp := c.openCausal[id]

@@ -25,10 +25,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"resilientos/internal/kernel"
 	"resilientos/internal/obs"
+	"resilientos/internal/obs/decision"
 	"resilientos/internal/policy"
 	"resilientos/internal/proto"
 	"resilientos/internal/sim"
@@ -150,12 +153,70 @@ type service struct {
 	detectedAt   sim.Time // set when a defect is detected, for Duration
 	pendingClass Defect   // class of the recovery a policy script is driving
 
+	// Heartbeat history window for decision tracing: the last up-to-8
+	// ping results of the current instance, bit 0 = most recent,
+	// 1 = answered. Maintained only while a decision recorder listens.
+	hbBits uint16
+	hbN    int
+
 	// episode is the recovery episode's root span, opened at defect
 	// detection and closed when the fresh instance is published (or RS
 	// gives up). Everything the recovery touches — the policy script, the
 	// new instance's initialization, dependents' reintegration — nests
 	// under or links back to it.
 	episode obs.SpanContext
+}
+
+// restartBudget is how many restarts remain before MaxRestarts forces a
+// give-up (-1 = unlimited, 0 = the next failure gives up).
+func restartBudget(svc *service) int {
+	if svc.cfg.MaxRestarts <= 0 {
+		return -1
+	}
+	b := svc.cfg.MaxRestarts - svc.failures
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// recordHB appends one heartbeat observation (true = pong seen) to the
+// service's sliding window.
+func (svc *service) recordHB(ok bool) {
+	svc.hbBits <<= 1
+	if ok {
+		svc.hbBits |= 1
+	}
+	if svc.hbN < 8 {
+		svc.hbN++
+	}
+}
+
+// hbWindow renders the heartbeat history oldest-first, 'o' = answered,
+// 'm' = missed ("" when unmonitored or no pings yet).
+func (svc *service) hbWindow() string {
+	if svc.hbN == 0 {
+		return ""
+	}
+	b := make([]byte, svc.hbN)
+	for i := 0; i < svc.hbN; i++ {
+		if svc.hbBits>>uint(svc.hbN-1-i)&1 == 1 {
+			b[i] = 'o'
+		} else {
+			b[i] = 'm'
+		}
+	}
+	return string(b)
+}
+
+// policyStepDetail renders one traced script step: the expanded argv
+// plus the interpreter's variable state at that point.
+func policyStepDetail(argv []string, vars string) string {
+	d := strings.Join(argv, " ")
+	if vars != "" {
+		d += " [" + vars + "]"
+	}
+	return d
 }
 
 // internal message type: drain the pending Go-level requests.
@@ -185,6 +246,10 @@ type RS struct {
 	alerts   []Alert
 	onReboot func()
 	rebooted bool
+
+	// dec receives structured recovery-decision events (nil = off; every
+	// decision point costs one nil check).
+	dec *decision.Recorder
 }
 
 type pendingReq struct {
@@ -201,6 +266,14 @@ type Option func(*RS)
 // `reboot` command triggers.
 func WithOnReboot(fn func()) Option {
 	return func(rs *RS) { rs.onReboot = fn }
+}
+
+// WithDecisions streams every recovery decision RS makes — stuck
+// declarations, defect detections, action choices, policy-script steps,
+// terminal outcomes — to the given recorder (internal/obs/decision).
+// A nil recorder keeps the decision path free.
+func WithDecisions(d *decision.Recorder) Option {
+	return func(rs *RS) { rs.dec = d }
 }
 
 // Start spawns the reincarnation server. It subscribes to PM's exit
@@ -424,6 +497,8 @@ func (rs *RS) spawnInstance(c *kernel.Ctx, svc *service) {
 	svc.killClass = 0
 	svc.missed = 0
 	svc.awaiting = false
+	svc.hbBits = 0
+	svc.hbN = 0
 	if svc.cfg.HeartbeatPeriod > 0 {
 		svc.nextPing = c.Now() + svc.cfg.HeartbeatPeriod
 	}
@@ -493,6 +568,14 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 	if !svc.episode.Valid() {
 		svc.episode = c.Obs().StartSpan(Label, "recover:"+svc.cfg.Label, obs.SpanContext{})
 	}
+	if rs.dec.On(decision.KindDetect) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindDetect, Service: svc.cfg.Label, Defect: int(class),
+			Failures: svc.failures, Budget: restartBudget(svc),
+			Detail: svc.hbWindow(),
+			Trace:  svc.episode.Trace, Span: svc.episode.Span,
+		})
+	}
 
 	if svc.cfg.MaxRestarts > 0 && svc.failures > svc.cfg.MaxRestarts {
 		svc.gaveUp = true
@@ -501,18 +584,43 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 			Repetition: svc.failures, GaveUp: true,
 		})
 		c.Obs().Emit(obs.KindGiveUp, svc.cfg.Label, class.String(), int64(svc.failures), 0)
+		if rs.dec.On(decision.KindAction) {
+			rs.dec.Emit(decision.Event{
+				Kind: decision.KindAction, Service: svc.cfg.Label, Defect: int(class),
+				Failures: svc.failures, Budget: restartBudget(svc),
+				Action: "give-up", Detail: "restart budget exhausted",
+				Trace: svc.episode.Trace, Span: svc.episode.Span,
+			})
+		}
 		// Withdraw the name so dependents see the component as gone. The
 		// episode ends unsuccessfully (status 1): the component stays down.
 		c.SetTraceCtx(svc.episode)
 		_, _ = c.SendRec(rs.dsEp, kernel.Message{Type: proto.DSWithdraw, Name: svc.cfg.Label})
+		episode := svc.episode
 		c.Obs().EndSpan(Label, svc.episode, 1)
 		svc.episode = obs.SpanContext{}
 		c.SetTraceCtx(obs.SpanContext{})
+		if rs.dec.On(decision.KindOutcome) {
+			rs.dec.Emit(decision.Event{
+				Kind: decision.KindOutcome, Service: svc.cfg.Label, Defect: int(class),
+				Failures: svc.failures, Budget: restartBudget(svc),
+				Action: "gave-up", Status: 1, Latency: c.Now() - svc.detectedAt,
+				Trace: episode.Trace, Span: episode.Span,
+			})
+		}
 		return
 	}
 
 	if svc.cfg.Policy == nil {
 		// Direct restart (the disk-driver path of §6.2).
+		if rs.dec.On(decision.KindAction) {
+			rs.dec.Emit(decision.Event{
+				Kind: decision.KindAction, Service: svc.cfg.Label, Defect: int(class),
+				Failures: svc.failures, Budget: restartBudget(svc),
+				Action: "restart-direct",
+				Trace:  svc.episode.Trace, Span: svc.episode.Span,
+			})
+		}
 		rs.completeRecovery(c, svc, class)
 		return
 	}
@@ -540,6 +648,14 @@ func (rs *RS) completeRecovery(c *kernel.Ctx, svc *service, class Defect) {
 		NewEp:      svc.ep,
 	})
 	c.Obs().ObserveRecovery(svc.cfg.Label, c.Now()-svc.detectedAt)
+	if rs.dec.On(decision.KindOutcome) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindOutcome, Service: svc.cfg.Label, Defect: int(class),
+			Failures: svc.failures, Budget: restartBudget(svc),
+			Action: "recovered", Status: 0, Latency: c.Now() - svc.detectedAt,
+			Trace: svc.episode.Trace, Span: svc.episode.Span,
+		})
+	}
 	c.Obs().EndSpan(Label, svc.episode, 0)
 	svc.episode = obs.SpanContext{}
 	c.SetTraceCtx(obs.SpanContext{})
@@ -563,6 +679,12 @@ func (rs *RS) runPolicyScript(c *kernel.Ctx, svc *service, class Defect) {
 	args := append([]string{svc.cfg.Label, fmt.Sprint(int(class)), fmt.Sprint(svc.failures)},
 		svc.cfg.PolicyParams...)
 	c.Obs().Emit(obs.KindPolicyStart, svc.cfg.Label, runnerLabel, int64(class), int64(svc.failures))
+	// Snapshot the episode and RS state for the runner's decision trail:
+	// the script may itself complete the recovery (clearing svc.episode)
+	// before its remaining steps execute.
+	episode := svc.episode
+	failures := svc.failures
+	budget := restartBudget(svc)
 	// The runner inherits the episode context at spawn: the script's
 	// restart calls show up inside the episode's span tree.
 	c.SetTraceCtx(svc.episode)
@@ -570,7 +692,8 @@ func (rs *RS) runPolicyScript(c *kernel.Ctx, svc *service, class Defect) {
 		IPCTo: []string{Label},
 		UID:   1000,
 	}, func(sh *kernel.Ctx) {
-		interp := policy.NewInterp(
+		var interp *policy.Interp
+		opts := []policy.Option{
 			policy.WithArgs(args...),
 			policy.WithSleep(func(d time.Duration) { sh.Sleep(d) }),
 			policy.WithCommand("service", func(argv []string, stdin string) (string, int) {
@@ -590,7 +713,27 @@ func (rs *RS) runPolicyScript(c *kernel.Ctx, svc *service, class Defect) {
 				}
 				return "", 0
 			}),
-		)
+		}
+		if rs.dec.On(decision.KindPolicyStep) {
+			opts = append(opts, policy.WithTrace(func(argv []string, status int) {
+				ev := decision.Event{
+					Kind: decision.KindPolicyStep, Service: args[0], Defect: int(class),
+					Failures: failures, Budget: budget,
+					Action: argv[0], Detail: policyStepDetail(argv, interp.VarState()),
+					Status: int64(status),
+					Trace:  episode.Trace, Span: episode.Span,
+				}
+				// The sleep builtin is the script's backoff: surface the
+				// computed delay as a first-class field.
+				if argv[0] == "sleep" && len(argv) >= 2 {
+					if secs, err := strconv.ParseFloat(argv[1], 64); err == nil && secs >= 0 {
+						ev.Delay = sim.Time(secs * float64(time.Second))
+					}
+				}
+				rs.dec.Emit(ev)
+			}))
+		}
+		interp = policy.NewInterp(opts...)
 		rc := int64(0)
 		if _, err := interp.Run(script); err != nil {
 			sh.Logf("policy script failed: %v", err)
@@ -599,12 +742,37 @@ func (rs *RS) runPolicyScript(c *kernel.Ctx, svc *service, class Defect) {
 			// back to a direct restart request.
 			_, _ = sh.SendRec(rsEp, kernel.Message{Type: proto.RSRestart, Name: args[0]})
 		}
+		if rs.dec.On(decision.KindPolicyStep) {
+			rs.dec.Emit(decision.Event{
+				Kind: decision.KindPolicyStep, Service: args[0], Defect: int(class),
+				Failures: failures, Budget: budget,
+				Action: "exit", Status: rc,
+				Trace: episode.Trace, Span: episode.Span,
+			})
+		}
 		sh.Obs().Emit(obs.KindPolicyExit, args[0], runnerLabel, rc, 0)
 		sh.Exit(0)
 	})
 	if err != nil {
 		c.Logf("policy runner for %s: %v", svc.cfg.Label, err)
+		if rs.dec.On(decision.KindAction) {
+			rs.dec.Emit(decision.Event{
+				Kind: decision.KindAction, Service: svc.cfg.Label, Defect: int(class),
+				Failures: failures, Budget: budget,
+				Action: "restart-direct", Detail: "policy runner spawn failed",
+				Trace: episode.Trace, Span: episode.Span,
+			})
+		}
 		rs.completeRecovery(c, svc, class)
+		return
+	}
+	if rs.dec.On(decision.KindAction) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindAction, Service: svc.cfg.Label, Defect: int(class),
+			Failures: failures, Budget: budget,
+			Action: "policy-run", Detail: strings.Join(args, " "),
+			Trace: episode.Trace, Span: episode.Span,
+		})
 	}
 }
 
@@ -739,6 +907,13 @@ func (rs *RS) doUpdate(c *kernel.Ctx, cfg ServiceConfig) {
 func (rs *RS) beginTermination(c *kernel.Ctx, svc *service, class Defect) {
 	if class == DefectUpdate {
 		svc.updating = true
+		if rs.dec.On(decision.KindTrigger) {
+			rs.dec.Emit(decision.Event{
+				Kind: decision.KindTrigger, Service: svc.cfg.Label, Defect: int(DefectUpdate),
+				Failures: svc.failures, Budget: restartBudget(svc),
+				Action: "terminate", Detail: "dynamic update", Delay: termGrace,
+			})
+		}
 	}
 	svc.termKillAt = c.Now() + termGrace
 	_ = c.Kill(svc.ep, kernel.SIGTERM)
@@ -761,6 +936,13 @@ func (rs *RS) onComplaint(c *kernel.Ctx, m kernel.Message) {
 		return
 	}
 	c.Logf("complaint about %s from %s", m.Name, rs.k.LabelOf(m.Source))
+	if rs.dec.On(decision.KindTrigger) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindTrigger, Service: m.Name, Defect: int(DefectComplaint),
+			Failures: svc.failures, Budget: restartBudget(svc),
+			Action: "complaint-kill", Detail: "complaint from " + rs.k.LabelOf(m.Source),
+		})
+	}
 	svc.killClass = DefectComplaint
 	_ = c.Kill(svc.ep, kernel.SIGKILL)
 	_ = c.Send(m.Source, reply)
@@ -825,6 +1007,17 @@ func (rs *RS) onTimer(c *kernel.Ctx) {
 		}
 		if svc.termKillAt != 0 && now >= svc.termKillAt {
 			svc.termKillAt = 0
+			if !svc.stopped && rs.dec.On(decision.KindTrigger) {
+				class := 0
+				if svc.updating {
+					class = int(DefectUpdate)
+				}
+				rs.dec.Emit(decision.Event{
+					Kind: decision.KindTrigger, Service: svc.cfg.Label, Defect: class,
+					Failures: svc.failures, Budget: restartBudget(svc),
+					Action: "escalate-sigkill", Detail: "termination grace expired",
+				})
+			}
 			_ = c.Kill(svc.ep, kernel.SIGKILL)
 			continue
 		}
@@ -832,10 +1025,21 @@ func (rs *RS) onTimer(c *kernel.Ctx) {
 			if svc.awaiting {
 				svc.missed++
 				c.Obs().Emit(obs.KindHeartbeat, svc.cfg.Label, "miss", int64(svc.missed), 0)
+				if rs.dec.On(decision.KindDetect) {
+					svc.recordHB(false)
+				}
 				if svc.missed >= svc.cfg.HeartbeatMisses {
 					// Defect class 4: the component is stuck. Kill it;
 					// the exit event completes the recovery.
 					c.Logf("%s missed %d heartbeats; declaring stuck", svc.cfg.Label, svc.missed)
+					if rs.dec.On(decision.KindTrigger) {
+						rs.dec.Emit(decision.Event{
+							Kind: decision.KindTrigger, Service: svc.cfg.Label, Defect: int(DefectHeartbeat),
+							Failures: svc.failures, Budget: restartBudget(svc),
+							Action: "declare-stuck",
+							Detail: fmt.Sprintf("hb=%s missed=%d", svc.hbWindow(), svc.missed),
+						})
+					}
 					svc.killClass = DefectHeartbeat
 					svc.awaiting = false
 					svc.missed = 0
@@ -856,6 +1060,9 @@ func (rs *RS) onTimer(c *kernel.Ctx) {
 func (rs *RS) onPong(from kernel.Endpoint) {
 	for _, svc := range rs.services {
 		if svc.ep == from {
+			if svc.awaiting && rs.dec.On(decision.KindDetect) {
+				svc.recordHB(true)
+			}
 			svc.awaiting = false
 			svc.missed = 0
 			return

@@ -1,0 +1,34 @@
+package decision
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseJSONL holds two properties of the decision-log parser: it
+// never panics on arbitrary input, and anything it accepts re-encodes
+// to a canonical fixed point (parse → encode → parse → encode is
+// byte-stable).
+func FuzzParseJSONL(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add(Encode(sample))
+	f.Add([]byte(`{"t":1,"kind":"detect","svc":"x","defect":4,"failures":1,"budget":-1,"action":"","detail":"","delay":0,"status":0,"latency":0,"tr":7,"sp":9}` + "\n"))
+	f.Add([]byte(`{"t":-5,"kind":"mark","svc":"","defect":0,"failures":0,"budget":0,"action":"","detail":"\"","delay":0,"status":0,"latency":0}` + "\n"))
+	f.Add([]byte("{\"t\":1\nnot json\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ParseJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := Encode(events)
+		again, err := ParseJSONL(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical re-encoding failed to parse: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(Encode(again), enc) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", enc, Encode(again))
+		}
+		// Check must never panic either, whatever the log contains.
+		_ = Check(events)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -27,7 +28,13 @@ type Interp struct {
 	limit    int    // remaining execution steps (runaway guard)
 	docsRef  []word // heredoc bodies of the script being run
 	optind   int    // getopts cursor (1-based position in args)
+	trace    Trace  // step-level hook, nil when tracing is off
 }
+
+// Trace is the step-level trace hook: it is called after every executed
+// simple command with the fully-expanded argv and the command's exit
+// status (decision tracing uses it to record a script's "why" trail).
+type Trace func(argv []string, status int)
 
 // Option configures an Interp.
 type Option func(*Interp)
@@ -56,6 +63,35 @@ func WithArgs(args ...string) Option {
 // WithVar presets a variable.
 func WithVar(name, value string) Option {
 	return func(in *Interp) { in.vars[name] = value }
+}
+
+// WithTrace installs the step-level trace hook.
+func WithTrace(fn Trace) Option {
+	return func(in *Interp) { in.trace = fn }
+}
+
+// VarState renders the interpreter's shell variables as a canonical
+// space-separated "name=value" list in name order, so trace hooks can
+// snapshot the arith/variable state deterministically.
+func (in *Interp) VarState() string {
+	if len(in.vars) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(in.vars))
+	for n := range in.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(in.vars[n])
+	}
+	return b.String()
 }
 
 // stepLimit bounds total commands executed per run; a policy script that
@@ -381,6 +417,9 @@ func (in *Interp) execSimple(n *simpleNode, stdin string, out *strings.Builder) 
 		return err
 	}
 	in.status = status
+	if in.trace != nil {
+		in.trace(argv, status)
+	}
 	if stdout != "" {
 		if out != nil {
 			out.WriteString(stdout)

@@ -38,6 +38,7 @@ import (
 	"resilientos/internal/kernel"
 	"resilientos/internal/mfs"
 	"resilientos/internal/obs"
+	"resilientos/internal/obs/decision"
 	"resilientos/internal/obs/timeseries"
 	"resilientos/internal/policy"
 	"resilientos/internal/proc"
@@ -86,6 +87,10 @@ type Config struct {
 	// instrumented layer emits structured trace events and metrics through
 	// it. Nil (the default) keeps all instrumentation free.
 	Obs *obs.Recorder
+	// Decisions, if set, receives the reincarnation server's recovery
+	// decision trace (internal/obs/decision). Nil keeps the RS decision
+	// points free.
+	Decisions *decision.Recorder
 	// Machine tunes the simulated hardware.
 	Machine hw.MachineConfig
 
@@ -186,7 +191,10 @@ func New(cfg Config) *System {
 	if err != nil {
 		panic(err)
 	}
-	sys.RS, err = core.Start(k, sys.PMEp, sys.DSEp, core.WithOnReboot(func() { env.Stop() }))
+	cfg.Decisions.SetClock(env.Now)
+	sys.RS, err = core.Start(k, sys.PMEp, sys.DSEp,
+		core.WithOnReboot(func() { env.Stop() }),
+		core.WithDecisions(cfg.Decisions))
 	if err != nil {
 		panic(err)
 	}
@@ -394,6 +402,10 @@ func (sys *System) bootChar() {
 // Obs returns the observability recorder the system was booted with
 // (nil when observability is off; all recorder methods are nil-safe).
 func (sys *System) Obs() *obs.Recorder { return sys.cfg.Obs }
+
+// Decisions returns the recovery-decision recorder the system was booted
+// with (nil when decision tracing is off; all methods are nil-safe).
+func (sys *System) Decisions() *decision.Recorder { return sys.cfg.Decisions }
 
 // Run advances the simulation by d of virtual time (0 = until the event
 // queue drains). It returns the virtual time reached.
