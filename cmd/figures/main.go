@@ -13,10 +13,18 @@
 // summary is also written as BENCH_fig<N>.json (bench/figure/v1 schema;
 // contains wall-clock and so is not byte-reproducible).
 //
+// With -mechanisms, the command instead runs the recovery-mechanism
+// comparison: the same Fig. 7 (or 8) configuration once per mechanism
+// (respawn, microreboot, standby) with VM-level crash injection, writing
+// fig<N>_seed<S>_<mech>.csv per mechanism plus BENCH_recovery.json
+// (bench/recovery/v1), the paper-style extension table of dip depth and
+// width per mechanism that the bench gate trends.
+//
 //	figures                             # both figures, quick defaults
 //	figures -fig 7 -seed 11             # the committed golden configuration
 //	figures -fig 8 -size 64 -interval 3 # 64 MB read, kill every 3s
 //	figures -bench                      # also write BENCH_fig7/8.json
+//	figures -mechanisms -seed 11        # recovery-mechanism comparison
 //
 // Exit status is non-zero if a transfer fails its integrity check, the
 // window series violates its structural invariants, or any output file
@@ -56,11 +64,12 @@ func run(args []string) error {
 	window := fs.Float64("window", 1, "telemetry window width in seconds")
 	out := fs.String("out", ".", "output directory")
 	doBench := fs.Bool("bench", false, "also write BENCH_fig<N>.json summaries (bench/figure/v1)")
+	mechs := fs.Bool("mechanisms", false, "run the recovery-mechanism comparison instead (writes BENCH_recovery.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
-		return fmt.Errorf("usage: figures [-fig 7|8] [-seed n] [-size mb] [-interval s] [-window s] [-out dir] [-bench]")
+		return fmt.Errorf("usage: figures [-fig 7|8] [-seed n] [-size mb] [-interval s] [-window s] [-out dir] [-bench] [-mechanisms]")
 	}
 
 	var figs []int
@@ -77,9 +86,74 @@ func run(args []string) error {
 		return err
 	}
 
+	if *mechs {
+		f := *fig
+		if f == 0 {
+			f = 7 // the comparison is a single-figure table; default to the network one
+		}
+		return runMechanisms(f, *seed, *sizeMB, *interval, *window, *out)
+	}
+
 	for _, f := range figs {
 		if err := runFigure(f, *seed, *sizeMB, *interval, *window, *out, *doBench); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// runMechanisms runs the recovery-mechanism comparison: one identical
+// figure run per mechanism with VM-level crash injection, a per-mechanism
+// CSV each, and the BENCH_recovery.json summary with the standby-depth
+// and microreboot-width gains over the respawn baseline.
+func runMechanisms(fig int, seed, sizeMB int64, intervalS, windowS float64, out string) error {
+	wallStart := time.Now()
+	results, doc := resilientos.RunMechanismComparison(resilientos.FigureConfig{
+		Fig:      fig,
+		Seed:     seed,
+		Size:     sizeMB << 20,
+		Interval: time.Duration(intervalS * float64(time.Second)),
+		Window:   time.Duration(windowS * float64(time.Second)),
+	})
+	doc.WallClockS = time.Since(wallStart).Seconds()
+
+	fmt.Printf("fig%d recovery mechanisms: %d MB, crash every %v, seed %d (%.1fs wall)\n",
+		doc.Fig, doc.SizeBytes>>20, results[0].Interval, doc.Seed, doc.WallClockS)
+	fmt.Printf("  %-12s %8s %8s %10s %12s %10s\n",
+		"mechanism", "MB/s", "crashes", "depth %", "width ms", "recov %")
+	for _, m := range doc.Mechanisms {
+		fmt.Printf("  %-12s %8.2f %8d %10.1f %12.1f %10.1f\n",
+			m.Mechanism, m.MBps, m.Crashes, m.MeanDipDepth, m.MeanDipWidthMs, m.RecoveredPct)
+	}
+	fmt.Printf("  standby depth gain: %.1f pct points, microreboot width gain: %.1f ms\n",
+		doc.StandbyDepthGainPct, doc.MicroWidthGainMs)
+
+	for i, res := range results {
+		var csv bytes.Buffer
+		if err := resilientos.WriteFigureCSV(&csv, res); err != nil {
+			return err
+		}
+		path := filepath.Join(out, fmt.Sprintf("fig%d_seed%d_%s.csv",
+			res.Fig, res.Seed, doc.Mechanisms[i].Mechanism))
+		if err := os.WriteFile(path, csv.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("fig%d: write %s: %w", res.Fig, path, err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	path := filepath.Join(out, "BENCH_recovery.json")
+	if err := bench.WriteFile(path, doc); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("  wrote %s\n", path)
+
+	for i, res := range results {
+		if res.Violation != nil {
+			return fmt.Errorf("fig%d %s: window series invariant violated: %w",
+				res.Fig, doc.Mechanisms[i].Mechanism, res.Violation)
+		}
+		if !res.OK {
+			return fmt.Errorf("fig%d %s: transfer failed integrity check (%d of %d bytes)",
+				res.Fig, doc.Mechanisms[i].Mechanism, res.Bytes, res.Size)
 		}
 	}
 	return nil

@@ -23,6 +23,7 @@
 //	budget=<n>     restart budget per driver (0 = unlimited)
 //	backoff=<dur>  policy backoff base (doubles per repetition)
 //	policy=on|off  run the recovery policy script vs. direct restart
+//	mech=<name>    recovery mechanism: respawn, microreboot, or standby
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 
 	"resilientos/internal/bench"
 	"resilientos/internal/campaign"
+	"resilientos/internal/drvlib"
 	"resilientos/internal/fi"
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/decision"
@@ -62,11 +64,12 @@ type scenario struct {
 	fault   fi.FaultType
 	perCell int
 
-	hb      time.Duration // heartbeat period; negative = disabled
-	misses  int           // heartbeat misses before declared stuck
-	budget  int           // restart budget (0 = unlimited)
-	backoff time.Duration // policy backoff base
-	policy  bool          // run the policy script vs. direct restart
+	hb      time.Duration    // heartbeat period; negative = disabled
+	misses  int              // heartbeat misses before declared stuck
+	budget  int              // restart budget (0 = unlimited)
+	backoff time.Duration    // policy backoff base
+	policy  bool             // run the policy script vs. direct restart
+	mech    drvlib.Mechanism // recovery mechanism (respawn/microreboot/standby)
 }
 
 // baseline is the standard scenario: the Fig. 7 victim under bit-flip
@@ -100,9 +103,9 @@ func (sc scenario) spec() string {
 	if sc.policy {
 		pol = "on"
 	}
-	return fmt.Sprintf("seeds=%s victim=%s fault=%s per-cell=%d hb=%s misses=%d budget=%d backoff=%s policy=%s",
+	return fmt.Sprintf("seeds=%s victim=%s fault=%s per-cell=%d hb=%s misses=%d budget=%d backoff=%s policy=%s mech=%s",
 		strings.Join(seeds, ";"), sc.victim, sc.fault, sc.perCell,
-		hb, sc.misses, sc.budget, sc.backoff, pol)
+		hb, sc.misses, sc.budget, sc.backoff, pol, sc.mech)
 }
 
 func parseSpec(spec string) (scenario, error) {
@@ -202,8 +205,14 @@ func applyKnob(sc scenario, key, val string) (scenario, error) {
 		default:
 			return sc, fmt.Errorf("bad policy %q (on|off)", val)
 		}
+	case "mech":
+		m, ok := drvlib.ParseMechanism(val)
+		if !ok {
+			return sc, fmt.Errorf("bad mech %q (respawn|microreboot|standby)", val)
+		}
+		sc.mech = m
 	default:
-		return sc, fmt.Errorf("unknown knob %q (hb, misses, budget, backoff, policy)", key)
+		return sc, fmt.Errorf("unknown knob %q (hb, misses, budget, backoff, policy, mech)", key)
 	}
 	return sc, nil
 }
@@ -281,6 +290,7 @@ func runScenario(sc scenario, workers int, progress func(done, total int)) (*cam
 		HeartbeatPeriod: sc.hb,
 		HeartbeatMisses: sc.misses,
 		MaxRestarts:     sc.budget,
+		Mechanism:       sc.mech,
 	}
 	if sc.policy {
 		cfg.Policy = backoffScript(sc.backoff)
@@ -316,7 +326,7 @@ func run(args []string) error {
 	fault := fs.String("fault", "", "fault type to inject (default bit-flip)")
 	perCell := fs.Int("per-cell", 0, "faults per cell (default 10)")
 	var overrides multiFlag
-	fs.Var(&overrides, "override", "counterfactual knob set, e.g. hb=250ms,budget=1 (repeatable; default sweep: hb=250ms / backoff=4s / budget=1 / policy=off)")
+	fs.Var(&overrides, "override", "counterfactual knob set, e.g. hb=250ms,budget=1 (repeatable; default sweep: hb=250ms / backoff=4s / budget=1 / policy=off / mech=microreboot / mech=standby)")
 	workers := fs.Int("workers", 1, "worker pool size (output is identical for any value)")
 	record := fs.String("record", "", "write the baseline decision log (spec header + JSONL) to this file")
 	replay := fs.String("replay", "", "re-run the campaign recorded in this file and byte-compare its decision log before sweeping")
@@ -378,7 +388,8 @@ func run(args []string) error {
 		base.perCell = *perCell
 	}
 	if len(overrides) == 0 {
-		overrides = multiFlag{"hb=250ms", "backoff=4s", "budget=1", "policy=off"}
+		overrides = multiFlag{"hb=250ms", "backoff=4s", "budget=1", "policy=off",
+			"mech=microreboot", "mech=standby"}
 	}
 
 	progress := func(string) func(done, total int) { return nil }

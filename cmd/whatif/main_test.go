@@ -6,12 +6,13 @@ import (
 	"testing"
 	"time"
 
+	"resilientos/internal/drvlib"
 	"resilientos/internal/policy"
 )
 
 func TestSpecRoundTrip(t *testing.T) {
 	base := baseline()
-	const want = "seeds=11 victim=eth.rtl8139 fault=bit-flip per-cell=10 hb=500ms misses=3 budget=0 backoff=1s policy=on"
+	const want = "seeds=11 victim=eth.rtl8139 fault=bit-flip per-cell=10 hb=500ms misses=3 budget=0 backoff=1s policy=on mech=respawn"
 	if got := base.spec(); got != want {
 		t.Fatalf("baseline spec = %q, want %q", got, want)
 	}
@@ -30,6 +31,7 @@ func TestSpecRoundTrip(t *testing.T) {
 	sc.hb = -1
 	sc.policy = false
 	sc.budget = 2
+	sc.mech = drvlib.MechStandby
 	reparsed, err := parseSpec(sc.spec())
 	if err != nil {
 		t.Fatal(err)
@@ -37,8 +39,9 @@ func TestSpecRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(reparsed, sc) {
 		t.Fatalf("round trip = %+v, want %+v", reparsed, sc)
 	}
-	if !strings.Contains(sc.spec(), "hb=off") || !strings.Contains(sc.spec(), "policy=off") {
-		t.Fatalf("spec %q should render disabled knobs as off", sc.spec())
+	if !strings.Contains(sc.spec(), "hb=off") || !strings.Contains(sc.spec(), "policy=off") ||
+		!strings.Contains(sc.spec(), "mech=standby") {
+		t.Fatalf("spec %q should render disabled knobs as off and the mechanism by name", sc.spec())
 	}
 }
 
@@ -54,6 +57,7 @@ func TestParseSpecErrors(t *testing.T) {
 		"seeds=11 victim=v per-cell=0",       // per-cell below 1
 		"seeds=11 victim=v hb=banana",        // bad duration
 		"seeds=11 victim=v policy=sometimes", // bad policy value
+		"seeds=11 victim=v mech=teleport",    // unknown mechanism
 	} {
 		if _, err := parseSpec(spec); err == nil {
 			t.Errorf("parseSpec(%q) accepted", spec)
@@ -78,7 +82,15 @@ func TestApplyOverride(t *testing.T) {
 		t.Fatalf("baseline mutated: %+v", base)
 	}
 
-	for _, bad := range []string{"", ",", "hb", "hb=0s", "misses=0", "budget=-1", "warp=9"} {
+	sc2, name2, err := applyOverride(base, "mech=microreboot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name2 != "mech=microreboot" || sc2.mech != drvlib.MechMicroreboot {
+		t.Fatalf("mech override: name=%q mech=%v", name2, sc2.mech)
+	}
+
+	for _, bad := range []string{"", ",", "hb", "hb=0s", "misses=0", "budget=-1", "warp=9", "mech=warp"} {
 		if _, _, err := applyOverride(base, bad); err == nil {
 			t.Errorf("applyOverride(%q) accepted", bad)
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"resilientos/internal/bench"
+	"resilientos/internal/core"
 	"resilientos/internal/hw"
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/decision"
@@ -33,6 +34,16 @@ type FigureConfig struct {
 	Interval time.Duration // kill interval (0 = uninterrupted)
 	Seed     int64
 	Window   time.Duration // sampler window width
+
+	// Mechanism selects the recovery mechanism for the run's drivers
+	// (zero = classic kill-and-respawn). The paper-style mechanism
+	// comparison runs the same figure under each value.
+	Mechanism core.Mechanism
+	// CrashVM, if set, injects failures by corrupting the driver's live
+	// ucode VM (CrashDriverVM) instead of SIGKILL. An external kill can
+	// only ever be answered by respawn or promotion; a VM-level defect is
+	// also interceptable by microreboot, so mechanism comparisons use it.
+	CrashVM bool
 
 	// Decisions, if set, receives the run's recovery decision trace
 	// (the golden seed-11 decision log is recorded through this). Note
@@ -150,6 +161,7 @@ func RunFigure(cfg FigureConfig) FigureResult {
 		sysCfg = Config{Seed: cfg.Seed, DisableDisk: true, DisableChar: true, Obs: rec}
 	}
 	sysCfg.Decisions = cfg.Decisions
+	sysCfg.Mechanism = cfg.Mechanism
 	sys := New(sysCfg)
 	sampler := timeseries.New(timeseries.Config{
 		Window:   cfg.Window,
@@ -160,8 +172,12 @@ func RunFigure(cfg FigureConfig) FigureResult {
 	rec.AddSink(sampler)
 
 	sys.Run(3 * time.Second) // boot settle
-	rec.Emit(obs.KindMark, "run",
-		fmt.Sprintf("fig%d interval=%v seed=%d", cfg.Fig, cfg.Interval, cfg.Seed), cfg.Size, 0)
+	runDesc := fmt.Sprintf("fig%d interval=%v seed=%d", cfg.Fig, cfg.Interval, cfg.Seed)
+	if cfg.Mechanism != core.MechRespawn || cfg.CrashVM {
+		// Appended only off the default so pre-mechanism goldens hold.
+		runDesc += fmt.Sprintf(" mech=%s crashvm=%v", cfg.Mechanism, cfg.CrashVM)
+	}
+	rec.Emit(obs.KindMark, "run", runDesc, cfg.Size, 0)
 	markT := sys.Env.Now()
 
 	var done func() bool
@@ -188,7 +204,11 @@ func RunFigure(cfg FigureConfig) FigureResult {
 	if cfg.Interval > 0 {
 		sys.Every(cfg.Interval, func() {
 			if !done() {
-				sys.KillDriver(driver)
+				if cfg.CrashVM {
+					sys.CrashDriverVM(driver)
+				} else {
+					sys.KillDriver(driver)
+				}
 				killTimes = append(killTimes, sys.Env.Now()-markT)
 			}
 		})
@@ -376,6 +396,51 @@ func analyzeDips(points []FigurePoint, kills []time.Duration, baseline float64, 
 		dips = append(dips, d)
 	}
 	return dips
+}
+
+// RecoveryMechanisms is the canonical mechanism order of the recovery
+// comparison: the respawn baseline first, then what each alternative buys.
+var RecoveryMechanisms = []core.Mechanism{
+	core.MechRespawn, core.MechMicroreboot, core.MechStandby,
+}
+
+// RunMechanismComparison runs the same figure configuration once per
+// recovery mechanism — with VM-level crash injection forced on, since an
+// external SIGKILL cannot be microrebooted — and assembles the paper-style
+// extension table of Fig. 7/8 dip depth and width per mechanism. Results
+// are returned in RecoveryMechanisms order. The document's WallClockS is
+// left zero for the caller to stamp; everything else is deterministic for
+// a fixed seed.
+func RunMechanismComparison(cfg FigureConfig) ([]FigureResult, bench.Recovery) {
+	results := make([]FigureResult, 0, len(RecoveryMechanisms))
+	doc := bench.Recovery{Schema: bench.SchemaRecovery}
+	for _, mech := range RecoveryMechanisms {
+		c := cfg
+		c.Mechanism = mech
+		c.CrashVM = true
+		r := RunFigure(c)
+		f := r.BenchFigure(0)
+		doc.Mechanisms = append(doc.Mechanisms, bench.RecoveryMechanism{
+			Mechanism:      mech.String(),
+			OK:             r.OK,
+			MBps:           r.MBps,
+			BaselineMBps:   r.BaselineMBps,
+			Crashes:        r.Kills,
+			Dips:           len(r.Dips),
+			MeanDipDepth:   f.MeanDipDepth,
+			MeanDipWidthMs: f.MeanDipWidthMs,
+			RecoveredPct:   r.RecoveredPct,
+			Recovery:       bench.Latency(r.Recovery),
+		})
+		results = append(results, r)
+	}
+	first := results[0]
+	doc.Fig, doc.Seed, doc.SizeBytes = first.Fig, first.Seed, first.Size
+	doc.CrashEveryS = first.Interval.Seconds()
+	respawn, micro, standby := doc.Mechanisms[0], doc.Mechanisms[1], doc.Mechanisms[2]
+	doc.StandbyDepthGainPct = respawn.MeanDipDepth - standby.MeanDipDepth
+	doc.MicroWidthGainMs = respawn.MeanDipWidthMs - micro.MeanDipWidthMs
+	return results, doc
 }
 
 // BenchFigure summarizes the result as the bench-gate document.

@@ -21,6 +21,7 @@ const (
 	SchemaFigure     = "resilientos/bench/figure/v1"
 	SchemaFleet      = "resilientos/bench/fleet/v1"
 	SchemaDecisions  = "resilientos/bench/decisions/v1"
+	SchemaRecovery   = "resilientos/bench/recovery/v1"
 )
 
 // LatencyMs is a recovery-latency distribution in virtual milliseconds.
@@ -197,6 +198,45 @@ type Decisions struct {
 	WallClockS float64           `json:"wall_clock_s"`
 	Baseline   DecisionVariant   `json:"baseline"`
 	Overrides  []DecisionVariant `json:"overrides"`
+}
+
+// RecoveryMechanism is one mechanism's slice of a recovery-mechanism
+// comparison: the same figure run (seed, size, crash cadence) under one
+// recovery mechanism. Dip depth and width are lower-better.
+type RecoveryMechanism struct {
+	Mechanism      string    `json:"mechanism"` // respawn, microreboot, standby
+	OK             bool      `json:"ok"`
+	MBps           float64   `json:"mbps"`
+	BaselineMBps   float64   `json:"baseline_mbps"`
+	Crashes        int       `json:"crashes"`
+	Dips           int       `json:"dips"`
+	MeanDipDepth   float64   `json:"mean_dip_depth_pct"` // lower is better
+	MeanDipWidthMs float64   `json:"mean_dip_width_ms"`  // lower is better
+	RecoveredPct   float64   `json:"recovered_pct"`      // higher is better
+	Recovery       LatencyMs `json:"recovery"`
+}
+
+// Recovery is the BENCH_recovery.json document: the paper-style extension
+// table comparing Fig. 7 dip depth/width across recovery mechanisms, one
+// identical run per mechanism with VM-level crash injection. The gain
+// fields pin the headline claims — a warm standby buys dip depth, a
+// microreboot buys dip width — so a commit that erodes either fails the
+// bench gate. All fields but WallClockS are deterministic per seed.
+type Recovery struct {
+	Schema      string              `json:"schema"`
+	Fig         int                 `json:"fig"`
+	Seed        int64               `json:"seed"`
+	SizeBytes   int64               `json:"size_bytes"`
+	CrashEveryS float64             `json:"crash_every_s"`
+	WallClockS  float64             `json:"wall_clock_s"`
+	Mechanisms  []RecoveryMechanism `json:"mechanisms"`
+
+	// StandbyDepthGainPct is respawn's mean dip depth minus standby's
+	// (percentage points; higher is better). MicroWidthGainMs is
+	// respawn's mean dip width minus microreboot's (ms; higher is
+	// better).
+	StandbyDepthGainPct float64 `json:"standby_depth_gain_pct"`
+	MicroWidthGainMs    float64 `json:"micro_width_gain_ms"`
 }
 
 // WriteFile marshals v as indented JSON (plus trailing newline) to path.

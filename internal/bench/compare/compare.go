@@ -1,6 +1,7 @@
 // Package compare is the bench-regression gate: it accumulates the
 // machine-readable perf baselines (BENCH_throughput.json,
-// BENCH_campaign.json, BENCH_fig7/8.json, BENCH_fleet.json) into an append-only
+// BENCH_campaign.json, BENCH_fig7/8.json, BENCH_fleet.json,
+// BENCH_recovery.json) into an append-only
 // BENCH_history.jsonl trajectory, and diffs the newest entry against the
 // previous one with per-metric, direction-aware thresholds — by default
 // warn past 5% and fail past 10% movement in the bad direction (e.g. a
@@ -30,12 +31,13 @@ type Entry struct {
 	Figures    []bench.Figure    `json:"figures,omitempty"`
 	Fleet      *bench.Fleet      `json:"fleet,omitempty"`
 	Decisions  *bench.Decisions  `json:"decisions,omitempty"`
+	Recovery   *bench.Recovery   `json:"recovery,omitempty"`
 }
 
 // Empty reports whether the entry carries no documents at all.
 func (e Entry) Empty() bool {
 	return e.Throughput == nil && e.Campaign == nil && len(e.Figures) == 0 &&
-		e.Fleet == nil && e.Decisions == nil
+		e.Fleet == nil && e.Decisions == nil && e.Recovery == nil
 }
 
 // LoadEntry gathers the baseline documents found in dir
@@ -79,6 +81,12 @@ func LoadEntry(dir, label string) (Entry, error) {
 		return e, err
 	} else if ok {
 		e.Decisions = &dc
+	}
+	var rv bench.Recovery
+	if ok, err := load(filepath.Join(dir, "BENCH_recovery.json"), &rv); err != nil {
+		return e, err
+	} else if ok {
+		e.Recovery = &rv
 	}
 	figs, err := filepath.Glob(filepath.Join(dir, "BENCH_fig*.json"))
 	if err != nil {
@@ -269,6 +277,17 @@ func metrics(e Entry) []metric {
 		if d.Baseline.Recovery.Count > 0 {
 			add("decisions/baseline/recovery_p95_ms", d.Baseline.Recovery.P95Ms, false)
 		}
+	}
+	if rv := e.Recovery; rv != nil {
+		for _, m := range rv.Mechanisms {
+			key := "recovery/" + m.Mechanism
+			add(key+"/mean_dip_depth_pct", m.MeanDipDepth, false)
+			add(key+"/mean_dip_width_ms", m.MeanDipWidthMs, false)
+			add(key+"/recovered_pct", m.RecoveredPct, true)
+		}
+		// The headline claims: what the mechanisms buy over respawn.
+		add("recovery/standby_depth_gain_pct", rv.StandbyDepthGainPct, true)
+		add("recovery/micro_width_gain_ms", rv.MicroWidthGainMs, true)
 	}
 	for _, f := range e.Figures {
 		key := "figure/" + f.Name

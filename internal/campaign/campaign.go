@@ -97,6 +97,9 @@ type Config struct {
 	// network drivers (disk drivers always restart directly, §6.2).
 	Policy       *policy.Script
 	PolicyParams []string
+	// Mechanism selects the recovery mechanism for every cell's drivers
+	// (zero = classic kill-and-respawn; microreboot, standby).
+	Mechanism core.Mechanism
 
 	// Decisions attaches a recovery-decision recorder to every cell: the
 	// per-cell trace lands in CellResult.Decisions, the merged log (with
@@ -272,6 +275,7 @@ func runCell(cell Cell, cfg Config) CellResult {
 		MaxRestarts:     cfg.MaxRestarts,
 		NetPolicy:       cfg.Policy,
 		NetPolicyParams: cfg.PolicyParams,
+		Mechanism:       cfg.Mechanism,
 	}
 	if disk {
 		syscfg.PreallocFiles = []resilientos.PreallocFile{{Name: "/campaign", Size: 16 << 20}}

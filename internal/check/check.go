@@ -33,6 +33,14 @@
 //     terminal outcome outside an open recovery episode
 //     (decision-without-episode), and every crash's episode ends with
 //     exactly one terminal decision (episode-without-terminal-decision).
+//   - failover: warm-standby failover is safe — the data store never maps
+//     a published name to a live standby replica that was not promoted
+//     (a standby never serves before promotion; together with
+//     endpoint-unique this also means a name never has two live owners),
+//     and state-capsule versions are monotone per driver: every save
+//     strictly exceeds the last version seen, and a successor never
+//     adopts a capsule older than one already written (a rejected adopt
+//     legitimately restarts the chain — the successor cold-starts).
 //
 // Violations carry the virtual time and a one-line detail; the checker
 // also keeps a bounded tail of recent trace events so a campaign can turn
@@ -49,6 +57,7 @@ import (
 	"time"
 
 	"resilientos/internal/core"
+	"resilientos/internal/drvlib"
 	"resilientos/internal/kernel"
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/decision"
@@ -127,7 +136,7 @@ type Config struct {
 // Violation is one invariant failure.
 type Violation struct {
 	T         sim.Time
-	Invariant string // "rs-guard", "endpoint-unique", "stale-endpoint", "grant-safety", "heartbeat", "trace-span", "span-leak", "window-monotonic", "decision"
+	Invariant string // "rs-guard", "endpoint-unique", "stale-endpoint", "grant-safety", "heartbeat", "trace-span", "span-leak", "window-monotonic", "decision", "failover"
 	Comp      string // component label the violation is about
 	Detail    string
 }
@@ -155,6 +164,7 @@ type Checker struct {
 	openCausal     map[int64]causalSpan // causal span ID -> begin info (span-leak)
 	openDecisions  map[string]sim.Time  // label -> decision-level detect time
 	openDecPolicy  map[string]sim.Time  // label -> decision-level policy-run time
+	capsuleVer     map[string]int64     // label -> last capsule version saved or adopted
 
 	// Per-step scratch state, reused to keep the every-step scans
 	// allocation-free.
@@ -163,6 +173,7 @@ type Checker struct {
 	liveStale  map[grantKey]bool
 	svcBuf     []core.ServiceInfo
 	liveLabels map[string]bool
+	standbyEps map[kernel.Endpoint]string // live standby replicas, by endpoint
 }
 
 type grantKey struct {
@@ -224,10 +235,12 @@ func New(cfg Config) *Checker {
 		openCausal:     make(map[int64]causalSpan),
 		openDecisions:  make(map[string]sim.Time),
 		openDecPolicy:  make(map[string]sim.Time),
+		capsuleVer:     make(map[string]int64),
 		seenEp:         make(map[kernel.Endpoint]string),
 		seenLabel:      make(map[string]kernel.Endpoint),
 		liveStale:      make(map[grantKey]bool),
 		liveLabels:     make(map[string]bool),
+		standbyEps:     make(map[kernel.Endpoint]string),
 	}
 }
 
@@ -283,6 +296,7 @@ func (c *Checker) Emit(e obs.Event) {
 		c.openCausal = make(map[int64]causalSpan)
 		c.openDecisions = make(map[string]sim.Time)
 		c.openDecPolicy = make(map[string]sim.Time)
+		c.capsuleVer = make(map[string]int64)
 	case obs.KindSpanBegin:
 		if prev, dup := c.openCausal[e.Span]; dup {
 			c.report(fmt.Sprintf("spanbegin:%d", e.Span), "span-leak", e.Comp,
@@ -313,6 +327,25 @@ func (c *Checker) Emit(e obs.Event) {
 	case obs.KindPublish:
 		// Aux is the published name (V2=1 marks a withdraw).
 		delete(c.pendingPublish, e.Aux)
+	case obs.KindCapsuleSave:
+		// Capsule versions must be strictly monotone per driver label.
+		if prev, ok := c.capsuleVer[e.Comp]; ok && e.V1 <= prev {
+			c.report(fmt.Sprintf("capver:%s:%d", e.Comp, e.V1), "failover", e.Comp,
+				fmt.Sprintf("capsule version not monotone: saved v%d after v%d", e.V1, prev))
+		}
+		c.capsuleVer[e.Comp] = e.V1
+	case obs.KindCapsuleAdopt:
+		if e.V2 != 0 {
+			// Rejected capsule: the successor cold-starts and legitimately
+			// restarts the version chain from zero.
+			delete(c.capsuleVer, e.Comp)
+			break
+		}
+		if prev, ok := c.capsuleVer[e.Comp]; ok && e.V1 < prev {
+			c.report(fmt.Sprintf("capadopt:%s:%d", e.Comp, e.V1), "failover", e.Comp,
+				fmt.Sprintf("adopted capsule v%d older than last written v%d", e.V1, prev))
+		}
+		c.capsuleVer[e.Comp] = e.V1
 	}
 }
 
@@ -456,6 +489,9 @@ func (c *Checker) scanProcs() {
 	for k := range seenLabel {
 		delete(seenLabel, k)
 	}
+	for k := range c.standbyEps {
+		delete(c.standbyEps, k)
+	}
 	c.cfg.Kernel.VisitProcs(func(p kernel.ProcInfo) {
 		if !p.Alive {
 			if p.Grants > 0 {
@@ -479,6 +515,9 @@ func (c *Checker) scanProcs() {
 				fmt.Sprintf("label %q borne by two live instances (%v and %v)", p.Label, prev, p.Ep))
 		}
 		seenLabel[p.Label] = p.Ep
+		if drvlib.IsStandbyLabel(p.Label) {
+			c.standbyEps[p.Ep] = p.Label
+		}
 	})
 }
 
@@ -520,6 +559,15 @@ func (c *Checker) scanGrants() {
 // flight.
 func (c *Checker) scanNames() {
 	c.cfg.DS.VisitNames(func(name string, ep kernel.Endpoint) {
+		// failover: a published name must never route to a live standby
+		// replica — a standby serves only after promotion relabels it.
+		if lbl, isStandby := c.standbyEps[ep]; isStandby {
+			c.report("sbserve:"+name, "failover", name,
+				fmt.Sprintf("data store maps %q to %v, a live unpromoted standby (%s)",
+					name, ep, lbl))
+		} else {
+			c.clearKey("sbserve:" + name)
+		}
 		if c.pendingPublish[name] {
 			return // restart published in the data store momentarily
 		}

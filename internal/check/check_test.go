@@ -554,3 +554,106 @@ func TestWindowMonotonicInvariant(t *testing.T) {
 	c.Finish()
 	wantInvariant(t, c, "window-monotonic")
 }
+
+// ---------------------------------------------------------------------
+// Failover invariants: standby-never-serves and capsule monotonicity.
+
+// failoverState builds a kernel with a live primary and its parked warm
+// standby replica; published names are the caller's choice.
+func failoverState(names []nameEntry) (*fakeKernel, *fakeDS) {
+	fk := &fakeKernel{
+		procs: []kernel.ProcInfo{
+			liveProc(0, 1, "rs"),
+			liveProc(1, 2, "eth.x"),
+			liveProc(2, 1, "eth.x/sb"),
+		},
+		labels: map[string]kernel.Endpoint{
+			"rs": ep(0, 1), "eth.x": ep(1, 2), "eth.x/sb": ep(2, 1),
+		},
+		alive: map[kernel.Endpoint]bool{ep(0, 1): true, ep(1, 2): true, ep(2, 1): true},
+	}
+	return fk, &fakeDS{names: names}
+}
+
+func TestStandbyParkedIsFine(t *testing.T) {
+	fk, fd := failoverState([]nameEntry{{"eth.x", ep(1, 2)}})
+	c := check.New(check.Config{Kernel: fk, DS: fd})
+	for i := 0; i < 100; i++ {
+		c.Step()
+	}
+	c.Finish()
+	if !c.Ok() {
+		t.Fatalf("parked standby flagged: %v", c.Violations())
+	}
+}
+
+func TestStandbyServesBeforePromotion(t *testing.T) {
+	// The data store resolves the service name to the live, unpromoted
+	// replica — a standby serving before promotion.
+	fk, fd := failoverState([]nameEntry{{"eth.x", ep(2, 1)}})
+	c := check.New(check.Config{Kernel: fk, DS: fd})
+	c.Step()
+	v := wantInvariant(t, c, "failover")
+	if !strings.Contains(v.Detail, "standby") {
+		t.Fatalf("unexpected detail: %q", v.Detail)
+	}
+	if n := countInvariant(c, "failover"); n != 1 {
+		t.Fatalf("violation reported %d times before repromotion", n)
+	}
+
+	// Promotion relabels the replica onto the service label; the same
+	// endpoint serving is now legal and the episode clears.
+	fk.procs[2].Label = "eth.x"
+	fk.procs[1].Alive = false
+	fk.alive[ep(1, 2)] = false
+	c.Step()
+	if n := countInvariant(c, "failover"); n != 1 {
+		t.Fatalf("promotion did not clear the episode: %d violations", n)
+	}
+}
+
+func TestCapsuleVersionMonotone(t *testing.T) {
+	c := check.New(check.Config{})
+	save := func(v int64) {
+		c.Emit(obs.Event{Kind: obs.KindCapsuleSave, Comp: "eth.x", Aux: "conf", V1: v})
+	}
+	adopt := func(v, rejected int64) {
+		c.Emit(obs.Event{Kind: obs.KindCapsuleAdopt, Comp: "eth.x", Aux: "conf", V1: v, V2: rejected})
+	}
+
+	save(1)
+	adopt(1, 0)
+	save(2)
+	save(3)
+	c.Finish()
+	if !c.Ok() {
+		t.Fatalf("monotone capsule chain flagged: %v", c.Violations())
+	}
+
+	// A save that repeats or regresses the version is a violation.
+	c = check.New(check.Config{})
+	save(3)
+	save(3)
+	v := wantInvariant(t, c, "failover")
+	if !strings.Contains(v.Detail, "not monotone") {
+		t.Fatalf("unexpected detail: %q", v.Detail)
+	}
+
+	// Adopting a capsule older than the last written one is a violation:
+	// the successor resurrected stale state.
+	c = check.New(check.Config{})
+	save(5)
+	adopt(2, 0)
+	wantInvariant(t, c, "failover")
+
+	// A rejected adopt means the successor cold-started: its restart from
+	// version 1 is legal, not a regression.
+	c = check.New(check.Config{})
+	save(5)
+	adopt(5, 1) // rejected (e.g. corrupt payload)
+	save(1)
+	c.Finish()
+	if !c.Ok() {
+		t.Fatalf("post-rejection cold restart flagged: %v", c.Violations())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"resilientos/internal/drvlib"
 	"resilientos/internal/kernel"
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/decision"
@@ -74,6 +75,19 @@ func (d Defect) String() string {
 	}
 }
 
+// Mechanism selects the recovery mechanism for a guarded service. It is
+// drvlib.Mechanism re-exported, so configurations need only this package:
+// the driver library implements the driver half (standby wait loop,
+// microreboot interception), RS the arbitration half.
+type Mechanism = drvlib.Mechanism
+
+// The recovery mechanisms, in escalation order.
+const (
+	MechRespawn     = drvlib.MechRespawn
+	MechMicroreboot = drvlib.MechMicroreboot
+	MechStandby     = drvlib.MechStandby
+)
+
 // Binary is a service's executable image: the body its process runs. A
 // restart executes a fresh call of the Binary — the "fresh copy" that
 // cures transient failures.
@@ -103,8 +117,14 @@ type ServiceConfig struct {
 
 	// MaxRestarts disables the service after this many consecutive
 	// failures (0 = never give up). The policy script can express richer
-	// give-up behavior; this is the backstop.
+	// give-up behavior; this is the backstop. Every recovery — respawn,
+	// in-place microreboot, or standby promotion — counts against it.
 	MaxRestarts int
+
+	// Mechanism selects how RS recovers this service: kill-and-respawn
+	// (the zero value, the paper's baseline), in-place microreboot, or
+	// warm-standby promotion.
+	Mechanism Mechanism
 }
 
 // Event is one entry of the recovery log; the experiments read these.
@@ -152,6 +172,15 @@ type service struct {
 
 	detectedAt   sim.Time // set when a defect is detected, for Duration
 	pendingClass Defect   // class of the recovery a policy script is driving
+
+	// Warm-standby pool state (Mechanism == MechStandby).
+	standbyEp kernel.Endpoint // parked replica (meaningful iff standbyUp)
+	standbyUp bool
+
+	// Microreboot accounting (Mechanism == MechMicroreboot).
+	microCount   int  // in-place reboots since the last full respawn
+	microPending bool // granted microreboot in flight; a death before
+	// RSMicroDone is its failed tail and must not be double-counted
 
 	// Heartbeat history window for decision tracing: the last up-to-8
 	// ping results of the current instance, bit 0 = most recent,
@@ -229,6 +258,12 @@ const stableResetAfter = 60 * time.Second
 
 // termGrace is how long a SIGTERM'd component gets before SIGKILL (§6).
 const termGrace = 500 * time.Millisecond
+
+// microBudget is how many in-place microreboots one instance may perform
+// before RS denies further requests and forces a full respawn — the
+// escalation rung for a VM whose state is corrupt beyond an in-place
+// reset. A full respawn (or a long stable run) resets the budget.
+const microBudget = 3
 
 // RS is the reincarnation server.
 type RS struct {
@@ -339,6 +374,11 @@ type ServiceInfo struct {
 
 	Failures   int
 	Recovering bool // defect detected, fresh instance not yet published
+
+	// StandbyEp is the parked warm replica's endpoint (None = no
+	// replica). The invariant checker asserts no published name ever
+	// resolves to it: a standby never serves before promotion.
+	StandbyEp kernel.Endpoint
 }
 
 // Services returns a snapshot of every guarded service, in label order.
@@ -359,6 +399,10 @@ func (rs *RS) ServicesInto(buf []ServiceInfo) []ServiceInfo {
 	out := buf
 	for _, l := range rs.sortedLabels {
 		svc := rs.services[l]
+		standby := kernel.None
+		if svc.standbyUp {
+			standby = svc.standbyEp
+		}
 		out = append(out, ServiceInfo{
 			Label:           l,
 			Ep:              svc.ep,
@@ -372,6 +416,7 @@ func (rs *RS) ServicesInto(buf []ServiceInfo) []ServiceInfo {
 			Missed:          svc.missed,
 			Failures:        svc.failures,
 			Recovering:      svc.detectedAt != 0,
+			StandbyEp:       standby,
 		})
 	}
 	return out
@@ -442,6 +487,10 @@ func (rs *RS) run(c *kernel.Ctx) {
 			}
 		case m.Type == proto.RSPong:
 			rs.onPong(m.Source)
+		case m.Type == proto.RSMicroAsk:
+			rs.onMicroAsk(c, m)
+		case m.Type == proto.RSMicroDone:
+			rs.onMicroDone(c, m)
 		case m.Type == proto.RSRestart:
 			rs.onRestartRequest(c, m)
 		case m.Type == proto.RSStop:
@@ -499,6 +548,8 @@ func (rs *RS) spawnInstance(c *kernel.Ctx, svc *service) {
 	svc.awaiting = false
 	svc.hbBits = 0
 	svc.hbN = 0
+	svc.microCount = 0 // a fresh instance earns a fresh microreboot budget
+	svc.microPending = false
 	if svc.cfg.HeartbeatPeriod > 0 {
 		svc.nextPing = c.Now() + svc.cfg.HeartbeatPeriod
 	}
@@ -514,12 +565,53 @@ func (rs *RS) spawnInstance(c *kernel.Ctx, svc *service) {
 		c.Logf("publish %s: %v", svc.cfg.Label, err)
 	}
 	c.Logf("service %s up at %v (failures=%d)", svc.cfg.Label, ep, svc.failures)
+	if svc.cfg.Mechanism == MechStandby {
+		rs.spawnStandby(c, svc) // keep the warm pool filled
+	}
 }
+
+// spawnStandby parks a fresh warm replica for svc under the "/sb" label.
+// The replica runs the same binary with the same privileges but does not
+// touch the device until promoted (internal/drvlib's standby loop parks
+// it before Init).
+// [recovery:begin]
+func (rs *RS) spawnStandby(c *kernel.Ctx, svc *service) {
+	if svc.standbyUp || svc.stopped || svc.gaveUp {
+		return
+	}
+	ep, err := c.Spawn(drvlib.StandbyLabel(svc.cfg.Label), svc.cfg.Priv, svc.cfg.Binary)
+	if err != nil {
+		c.Logf("spawn standby for %s: %v", svc.cfg.Label, err)
+		return
+	}
+	svc.standbyEp = ep
+	svc.standbyUp = true
+	c.Logf("standby for %s parked at %v", svc.cfg.Label, ep)
+}
+
+// killStandby retires the parked replica (give-up, administrative stop).
+// The endpoint is cleared before the kill so the resulting death event is
+// not mistaken for a replica crash and back-filled.
+func (rs *RS) killStandby(c *kernel.Ctx, svc *service, sig kernel.Signal) {
+	if !svc.standbyUp {
+		return
+	}
+	ep := svc.standbyEp
+	svc.standbyEp = kernel.None
+	svc.standbyUp = false
+	_ = c.Kill(ep, sig)
+}
+
+// [recovery:end]
 
 // [recovery:begin]
 // onExitEvent handles a PM exit report — defect classes 1–3, plus the
 // tail ends of classes 4–6 whose kills RS itself initiated.
 func (rs *RS) onExitEvent(c *kernel.Ctx, m kernel.Message) {
+	if drvlib.IsStandbyLabel(m.Name) {
+		rs.onStandbyExit(c, m)
+		return
+	}
 	svc, ok := rs.services[m.Name]
 	if !ok || kernel.Endpoint(m.Arg1) != svc.ep {
 		return // not ours, or a stale instance's echo
@@ -550,6 +642,21 @@ func (rs *RS) onExitEvent(c *kernel.Ctx, m kernel.Message) {
 	rs.recover(c, svc, class)
 }
 
+// onStandbyExit handles a parked replica dying: clear it and back-fill,
+// so the pool self-heals. Deliberate retirements (give-up, stop,
+// promotion) clear standbyEp before acting and are ignored here.
+func (rs *RS) onStandbyExit(c *kernel.Ctx, m kernel.Message) {
+	svc, ok := rs.services[drvlib.PrimaryLabel(m.Name)]
+	if !ok || !svc.standbyUp || kernel.Endpoint(m.Arg1) != svc.standbyEp {
+		return
+	}
+	svc.standbyEp = kernel.None
+	svc.standbyUp = false
+	if svc.cfg.Mechanism == MechStandby {
+		rs.spawnStandby(c, svc)
+	}
+}
+
 // [recovery:end]
 
 // [recovery:begin]
@@ -558,8 +665,14 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 	// Consecutive-failure accounting: a long stable run resets the count.
 	if svc.lastFailure != 0 && c.Now()-svc.lastFailure > stableResetAfter+svc.cfg.HeartbeatPeriod {
 		svc.failures = 0
+		svc.microCount = 0
 	}
-	if class != DefectUpdate {
+	switch {
+	case svc.microPending:
+		// This death is the failed tail of a granted microreboot, which
+		// was already charged at RSMicroAsk: don't double-count it.
+		svc.microPending = false
+	case class != DefectUpdate:
 		svc.failures++
 	}
 	svc.lastFailure = c.Now()
@@ -579,6 +692,7 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 
 	if svc.cfg.MaxRestarts > 0 && svc.failures > svc.cfg.MaxRestarts {
 		svc.gaveUp = true
+		rs.killStandby(c, svc, kernel.SIGKILL) // no pool for an abandoned service
 		rs.events = append(rs.events, Event{
 			Time: c.Now(), Label: svc.cfg.Label, Defect: class,
 			Repetition: svc.failures, GaveUp: true,
@@ -611,6 +725,16 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 		return
 	}
 
+	// Warm-standby fast path: fail over to the parked replica instead of
+	// spawning. Dynamic updates still respawn (the update's new binary
+	// must run), and a missing or unpromotable replica falls through to
+	// the ordinary spawn path below.
+	if svc.cfg.Mechanism == MechStandby && class != DefectUpdate && svc.standbyUp {
+		if rs.promoteStandby(c, svc, class) {
+			return
+		}
+	}
+
 	if svc.cfg.Policy == nil {
 		// Direct restart (the disk-driver path of §6.2).
 		if rs.dec.On(decision.KindAction) {
@@ -626,6 +750,201 @@ func (rs *RS) recover(c *kernel.Ctx, svc *service, class Defect) {
 	}
 	svc.pendingClass = class
 	rs.runPolicyScript(c, svc, class)
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// promoteStandby fails over to the parked warm replica: the kernel
+// relabels the replica onto the service label, the replica is told to
+// attach, and the data store atomically republishes the endpoint — no
+// spawn and no cold device reset on the critical path, which is what
+// makes the Fig. 7 dip shallower than a respawn. A fresh standby is
+// back-filled in the same turn. Returns false (the caller falls back to
+// the spawn path) if the kernel refuses the relabel.
+func (rs *RS) promoteStandby(c *kernel.Ctx, svc *service, class Defect) bool {
+	ep := svc.standbyEp
+	svc.standbyEp = kernel.None
+	svc.standbyUp = false
+	if err := c.Relabel(ep, svc.cfg.Label); err != nil {
+		c.Logf("promote %s: relabel %v: %v", svc.cfg.Label, ep, err)
+		return false
+	}
+	if rs.dec.On(decision.KindAction) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindAction, Service: svc.cfg.Label, Defect: int(class),
+			Failures: svc.failures, Budget: restartBudget(svc),
+			Action: "promote-standby", Detail: fmt.Sprintf("replica=%v", ep),
+			Trace: svc.episode.Trace, Span: svc.episode.Span,
+		})
+	}
+	c.SetTraceCtx(svc.episode)
+	svc.ep = ep
+	svc.running = true
+	svc.updating = false
+	svc.killClass = 0
+	svc.missed = 0
+	svc.awaiting = false
+	svc.hbBits = 0
+	svc.hbN = 0
+	svc.microCount = 0
+	svc.microPending = false
+	if svc.cfg.HeartbeatPeriod > 0 {
+		svc.nextPing = c.Now() + svc.cfg.HeartbeatPeriod
+	}
+	c.Obs().Emit(obs.KindRestart, svc.cfg.Label, svc.cfg.Version, int64(ep), int64(svc.failures))
+	// The promote must be queued at the replica before the data-store
+	// fanout lets dependents talk to it; per-receiver delivery is arrival
+	// order, so the replica attaches before serving its first request.
+	_ = c.AsyncSend(ep, kernel.Message{Type: proto.RSPromote, Name: svc.cfg.Label})
+	if _, err := c.SendRec(rs.dsEp, kernel.Message{
+		Type: proto.DSFailover, Name: svc.cfg.Label, Arg1: int64(ep),
+	}); err != nil {
+		c.Logf("failover publish %s: %v", svc.cfg.Label, err)
+	}
+	c.Logf("service %s failed over to standby %v (failures=%d)", svc.cfg.Label, ep, svc.failures)
+	rs.events = append(rs.events, Event{
+		Time: svc.detectedAt, Label: svc.cfg.Label, Defect: class,
+		Repetition: svc.failures, Recovered: true,
+		Duration: c.Now() - svc.detectedAt, NewEp: ep,
+	})
+	c.Obs().ObserveRecovery(svc.cfg.Label, c.Now()-svc.detectedAt)
+	if rs.dec.On(decision.KindOutcome) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindOutcome, Service: svc.cfg.Label, Defect: int(class),
+			Failures: svc.failures, Budget: restartBudget(svc),
+			Action: "recovered", Detail: "promote-standby",
+			Status: 0, Latency: c.Now() - svc.detectedAt,
+			Trace: svc.episode.Trace, Span: svc.episode.Span,
+		})
+	}
+	c.Obs().EndSpan(Label, svc.episode, 0)
+	svc.episode = obs.SpanContext{}
+	c.SetTraceCtx(obs.SpanContext{})
+	svc.detectedAt = 0
+	svc.pendingClass = 0
+	rs.spawnStandby(c, svc) // back-fill the pool in the background
+	return true
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// onMicroAsk arbitrates a driver's request to microreboot its faulted
+// ucode VM in place. Every granted microreboot is charged against the
+// same consecutive-failure budget as a respawn — MaxRestarts bounds
+// recoveries, not process spawns — and against the per-instance
+// microreboot budget; when either is exhausted the request is denied,
+// the driver carries out its original fatal, and the ladder escalates to
+// a full respawn (which resets the microreboot budget).
+func (rs *RS) onMicroAsk(c *kernel.Ctx, m kernel.Message) {
+	svc, ok := rs.services[m.Name]
+	reply := kernel.Message{Type: proto.RSAck, Arg1: proto.OK}
+	if !ok || m.Source != svc.ep || svc.cfg.Mechanism != MechMicroreboot ||
+		svc.stopped || svc.updating || svc.gaveUp {
+		reply.Arg1 = proto.ErrPerm
+		_ = c.Send(m.Source, reply)
+		return
+	}
+	class := Defect(m.Arg1)
+	if class < DefectExit || class > DefectUpdate {
+		class = DefectExit
+	}
+	// Same stable-run reset as recover(): a long healthy stretch clears
+	// both budgets.
+	if svc.lastFailure != 0 && c.Now()-svc.lastFailure > stableResetAfter+svc.cfg.HeartbeatPeriod {
+		svc.failures = 0
+		svc.microCount = 0
+	}
+	var deny string
+	switch {
+	case svc.microCount >= microBudget:
+		deny = fmt.Sprintf("microreboot budget exhausted (%d/%d)", svc.microCount, microBudget)
+	case svc.cfg.MaxRestarts > 0 && svc.failures+1 > svc.cfg.MaxRestarts:
+		deny = "restart budget exhausted"
+	}
+	if deny != "" {
+		if rs.dec.On(decision.KindTrigger) {
+			rs.dec.Emit(decision.Event{
+				Kind: decision.KindTrigger, Service: svc.cfg.Label, Defect: int(class),
+				Failures: svc.failures, Budget: restartBudget(svc),
+				Action: "microreboot-deny", Detail: deny,
+			})
+		}
+		c.Logf("microreboot of %s denied: %s", svc.cfg.Label, deny)
+		reply.Arg1 = proto.ErrAgain
+		_ = c.Send(m.Source, reply)
+		return
+	}
+	svc.failures++
+	svc.lastFailure = c.Now()
+	svc.microCount++
+	svc.microPending = true
+	svc.pendingClass = class
+	svc.detectedAt = c.Now()
+	c.Logf("defect %v in %s: microreboot %d/%d (repetition %d)",
+		class, svc.cfg.Label, svc.microCount, microBudget, svc.failures)
+	if !svc.episode.Valid() {
+		svc.episode = c.Obs().StartSpan(Label, "recover:"+svc.cfg.Label, obs.SpanContext{})
+	}
+	if rs.dec.On(decision.KindDetect) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindDetect, Service: svc.cfg.Label, Defect: int(class),
+			Failures: svc.failures, Budget: restartBudget(svc),
+			Detail: svc.hbWindow(),
+			Trace:  svc.episode.Trace, Span: svc.episode.Span,
+		})
+	}
+	if rs.dec.On(decision.KindAction) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindAction, Service: svc.cfg.Label, Defect: int(class),
+			Failures: svc.failures, Budget: restartBudget(svc),
+			Action: "microreboot",
+			Detail: fmt.Sprintf("in-place vm reset %d/%d", svc.microCount, microBudget),
+			Trace:  svc.episode.Trace, Span: svc.episode.Span,
+		})
+	}
+	_ = c.Send(m.Source, reply)
+}
+
+// [recovery:end]
+
+// [recovery:begin]
+// onMicroDone closes an in-place microreboot episode: the driver is
+// serving again on the same endpoint, so there is no republish and no
+// reintegration — only the books are settled.
+func (rs *RS) onMicroDone(c *kernel.Ctx, m kernel.Message) {
+	svc, ok := rs.services[m.Name]
+	if !ok || m.Source != svc.ep || !svc.microPending {
+		return
+	}
+	svc.microPending = false
+	svc.missed = 0
+	svc.awaiting = false
+	if svc.cfg.HeartbeatPeriod > 0 {
+		svc.nextPing = c.Now() + svc.cfg.HeartbeatPeriod
+	}
+	class := rs.lastDefectClass(svc)
+	c.Logf("service %s microrebooted in place (failures=%d)", svc.cfg.Label, svc.failures)
+	rs.events = append(rs.events, Event{
+		Time: svc.detectedAt, Label: svc.cfg.Label, Defect: class,
+		Repetition: svc.failures, Recovered: true,
+		Duration: c.Now() - svc.detectedAt, NewEp: svc.ep,
+	})
+	c.Obs().ObserveRecovery(svc.cfg.Label, c.Now()-svc.detectedAt)
+	if rs.dec.On(decision.KindOutcome) {
+		rs.dec.Emit(decision.Event{
+			Kind: decision.KindOutcome, Service: svc.cfg.Label, Defect: int(class),
+			Failures: svc.failures, Budget: restartBudget(svc),
+			Action: "recovered", Detail: "microreboot",
+			Status: 0, Latency: c.Now() - svc.detectedAt,
+			Trace: svc.episode.Trace, Span: svc.episode.Span,
+		})
+	}
+	c.Obs().EndSpan(Label, svc.episode, 0)
+	svc.episode = obs.SpanContext{}
+	svc.detectedAt = 0
+	svc.pendingClass = 0
 }
 
 // [recovery:end]
@@ -867,6 +1186,7 @@ func (rs *RS) doStop(c *kernel.Ctx, label string) {
 		return
 	}
 	svc.stopped = true
+	rs.killStandby(c, svc, kernel.SIGTERM)
 	rs.beginTermination(c, svc, 0)
 }
 

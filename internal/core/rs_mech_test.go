@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"resilientos/internal/drvlib"
+	"resilientos/internal/kernel"
+	"resilientos/internal/proto"
+	"resilientos/internal/ucode"
+)
+
+// mechDevice is a minimal drvlib.Device with the recovery hooks, shared
+// across the instances RS spawns (primary, standby, respawns) — safe
+// because the simulation is single-threaded.
+type mechDevice struct {
+	initCount    int
+	promoteCount int
+	microCount   int
+	failNext     bool // next request raises a fatal VM outcome
+}
+
+func (d *mechDevice) Init(c *kernel.Ctx) error { d.initCount++; return nil }
+func (d *mechDevice) HandleRequest(c *kernel.Ctx, m kernel.Message) {
+	if d.failNext {
+		d.failNext = false
+		drvlib.React(c, ucode.Result{Outcome: ucode.OutcomeAssert, Reason: "induced fault"})
+		return
+	}
+	_ = c.AsyncSend(m.Source, kernel.Message{Type: proto.RSAck})
+}
+func (d *mechDevice) HandleIRQ(c *kernel.Ctx, mask uint64) {}
+func (d *mechDevice) HandleAlarm(c *kernel.Ctx)            {}
+func (d *mechDevice) Shutdown(c *kernel.Ctx)               {}
+func (d *mechDevice) Promote(c *kernel.Ctx) error          { d.promoteCount++; return nil }
+func (d *mechDevice) Microreboot(c *kernel.Ctx) error      { d.microCount++; return nil }
+
+func mechBinary(d drvlib.Device, opts drvlib.Options) Binary {
+	return func(c *kernel.Ctx) { drvlib.RunWith(c, d, opts) }
+}
+
+func findService(t *testing.T, rs *RS, label string) ServiceInfo {
+	t.Helper()
+	for _, s := range rs.Services() {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("service %q not in snapshot", label)
+	return ServiceInfo{}
+}
+
+// poke makes the device fault on its next request and delivers one.
+func poke(r *rig, dev *mechDevice, label string, n int) {
+	dev.failNext = true
+	target := r.rs.ServiceEndpoint(label)
+	r.k.Spawn(fmt.Sprintf("poke%d", n), kernel.Privileges{AllowAllIPC: true},
+		func(c *kernel.Ctx) {
+			_ = c.AsyncSend(target, kernel.Message{Type: proto.EthSend})
+		})
+	r.env.Run(time.Second)
+}
+
+// TestStandbyPromotionFailsOver is the warm-standby happy path: RS parks
+// a replica alongside the primary, an external SIGKILL promotes it via
+// the Promoter fast path (no re-init), the data store follows, and a
+// fresh standby is back-filled at a new endpoint.
+func TestStandbyPromotionFailsOver(t *testing.T) {
+	r := boot(t)
+	dev := &mechDevice{}
+	cfg := svcCfg("drv", mechBinary(dev, drvlib.Options{Mechanism: drvlib.MechStandby}))
+	cfg.Mechanism = MechStandby
+	r.rs.StartService(cfg)
+	r.env.Run(2 * time.Second)
+
+	primary := r.rs.ServiceEndpoint("drv")
+	info := findService(t, r.rs, "drv")
+	if info.StandbyEp == kernel.None {
+		t.Fatal("no warm standby parked")
+	}
+	standby := info.StandbyEp
+	if standby == primary {
+		t.Fatalf("standby shares the primary's endpoint %v", primary)
+	}
+	if dev.initCount != 1 {
+		t.Fatalf("initCount = %d before failover: the parked replica must not touch hardware", dev.initCount)
+	}
+
+	r.rs.KillService("drv", kernel.SIGKILL)
+	r.env.Run(2 * time.Second)
+
+	if got := r.rs.ServiceEndpoint("drv"); got != standby {
+		t.Fatalf("service at %v after failover, want promoted replica %v", got, standby)
+	}
+	if dev.promoteCount != 1 || dev.initCount != 1 {
+		t.Fatalf("promote=%d init=%d: promotion must take the fast-attach path",
+			dev.promoteCount, dev.initCount)
+	}
+	if r.rs.FailureCount("drv") != 1 {
+		t.Fatalf("failures = %d, want 1: a promotion counts against the budget",
+			r.rs.FailureCount("drv"))
+	}
+	info = findService(t, r.rs, "drv")
+	if info.StandbyEp == kernel.None || info.StandbyEp == standby {
+		t.Fatalf("standby pool not back-filled: %v", info.StandbyEp)
+	}
+
+	// The data store must agree with RS about the promoted endpoint.
+	var published int64
+	r.k.Spawn("lookup-probe", kernel.Privileges{AllowAllIPC: true}, func(c *kernel.Ctx) {
+		reply, err := c.SendRec(r.dsEp, kernel.Message{Type: proto.DSLookup, Name: "drv"})
+		if err == nil {
+			published = reply.Arg1
+		}
+	})
+	r.env.Run(time.Second)
+	if kernel.Endpoint(published) != standby {
+		t.Fatalf("DS publishes %v after failover, want %v", published, standby)
+	}
+}
+
+// TestRelabelRefusesLiveDuplicate pins the kernel half of the
+// never-two-owners invariant: a relabel onto a label another live
+// process bears must be refused.
+func TestRelabelRefusesLiveDuplicate(t *testing.T) {
+	r := boot(t)
+	spawn := func(label string) kernel.Endpoint {
+		ctx, err := r.k.Spawn(label, kernel.Privileges{AllowAllIPC: true}, func(c *kernel.Ctx) {
+			_, _ = c.Receive(kernel.Any)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Endpoint()
+	}
+	spawn("owner")
+	other := spawn("other")
+	r.env.Run(10 * time.Millisecond)
+	if err := r.k.Relabel(other, "owner"); err == nil {
+		t.Fatal("relabel onto a live label accepted: two owners of one name")
+	}
+}
+
+// TestMicrorebootRecoversInPlace: fatal VM outcomes under MechMicroreboot
+// are absorbed in place — same process, same endpoint, no respawn — until
+// the per-instance budget runs out, at which point RS denies the request
+// and the ladder escalates to a full respawn (which resets the budget).
+func TestMicrorebootRecoversInPlace(t *testing.T) {
+	r := boot(t)
+	dev := &mechDevice{}
+	cfg := svcCfg("drv", mechBinary(dev, drvlib.Options{Mechanism: drvlib.MechMicroreboot}))
+	cfg.Mechanism = MechMicroreboot
+	r.rs.StartService(cfg)
+	r.env.Run(time.Second)
+	ep := r.rs.ServiceEndpoint("drv")
+
+	// Three faults: all inside the budget, all absorbed in place.
+	for i := 1; i <= 3; i++ {
+		poke(r, dev, "drv", i)
+		if got := r.rs.ServiceEndpoint("drv"); got != ep {
+			t.Fatalf("fault %d: endpoint %v, want %v (microreboot must not respawn)", i, got, ep)
+		}
+		if dev.microCount != i {
+			t.Fatalf("fault %d: %d microreboots", i, dev.microCount)
+		}
+		if r.rs.FailureCount("drv") != i {
+			t.Fatalf("fault %d: failures = %d — each microreboot must be charged",
+				i, r.rs.FailureCount("drv"))
+		}
+	}
+	if dev.initCount != 1 {
+		t.Fatalf("initCount = %d while rebooting in place", dev.initCount)
+	}
+
+	// Fourth fault: budget exhausted, RS denies, the original fatal runs
+	// and the service respawns at a fresh endpoint.
+	poke(r, dev, "drv", 4)
+	respawned := r.rs.ServiceEndpoint("drv")
+	if respawned == ep || respawned == kernel.None {
+		t.Fatalf("endpoint %v after budget exhaustion, want a fresh respawn", respawned)
+	}
+	if dev.microCount != 3 || dev.initCount != 2 {
+		t.Fatalf("micro=%d init=%d after escalation, want 3 and 2", dev.microCount, dev.initCount)
+	}
+	if r.rs.FailureCount("drv") != 4 {
+		t.Fatalf("failures = %d after escalation, want 4", r.rs.FailureCount("drv"))
+	}
+
+	// The respawn earned a fresh budget: the next fault microreboots again.
+	poke(r, dev, "drv", 5)
+	if got := r.rs.ServiceEndpoint("drv"); got != respawned {
+		t.Fatalf("endpoint %v after post-respawn fault, want %v in place", got, respawned)
+	}
+	if dev.microCount != 4 {
+		t.Fatalf("microCount = %d, want 4: respawn must reset the budget", dev.microCount)
+	}
+}
+
+// TestMicrorebootCountsAgainstMaxRestarts is the give-up accounting
+// contract: in-place microreboots consume the same MaxRestarts budget as
+// respawns, so a service that keeps faulting gives up after the same
+// number of recoveries regardless of mechanism.
+func TestMicrorebootCountsAgainstMaxRestarts(t *testing.T) {
+	r := boot(t)
+	dev := &mechDevice{}
+	cfg := svcCfg("drv", mechBinary(dev, drvlib.Options{Mechanism: drvlib.MechMicroreboot}))
+	cfg.Mechanism = MechMicroreboot
+	cfg.MaxRestarts = 2
+	r.rs.StartService(cfg)
+	r.env.Run(time.Second)
+
+	for i := 1; i <= 3; i++ {
+		poke(r, dev, "drv", i)
+	}
+	if dev.microCount != 2 {
+		t.Fatalf("%d microreboots granted with MaxRestarts=2, want 2", dev.microCount)
+	}
+	info := findService(t, r.rs, "drv")
+	if !info.GaveUp {
+		t.Fatalf("service did not give up after exhausting MaxRestarts: %+v", info)
+	}
+	if r.rs.ServiceEndpoint("drv") != kernel.None {
+		t.Fatal("abandoned service still has a live endpoint")
+	}
+	if r.rs.FailureCount("drv") != 3 {
+		t.Fatalf("failures = %d at give-up, want 3", r.rs.FailureCount("drv"))
+	}
+}
+
+// salvageDevice adds the Salvager hooks: SaveState flushes d.payload,
+// RestoreState records what the successor adopted (or rejects it).
+type salvageDevice struct {
+	mechDevice
+	payload      []byte
+	restoreErr   error
+	restoredKind string
+	restored     []byte
+}
+
+func (d *salvageDevice) SaveState(c *kernel.Ctx) (string, []byte) {
+	return "test.state", d.payload
+}
+
+func (d *salvageDevice) RestoreState(c *kernel.Ctx, kind string, payload []byte) error {
+	if d.restoreErr != nil {
+		return d.restoreErr
+	}
+	d.restoredKind = kind
+	d.restored = append([]byte(nil), payload...)
+	return nil
+}
+
+// TestSalvageAcrossUpdate: a dynamic update SIGTERMs the old instance,
+// which flushes its state capsule; the successor validates and adopts it.
+func TestSalvageAcrossUpdate(t *testing.T) {
+	r := boot(t)
+	dev := &salvageDevice{payload: []byte("cfg-v1")}
+	cfg := svcCfg("drv", mechBinary(dev, drvlib.Options{Salvage: true}))
+	r.rs.StartService(cfg)
+	r.env.Run(time.Second)
+
+	r.rs.UpdateService(ServiceConfig{Label: "drv", Version: "v2"})
+	r.env.Run(2 * time.Second)
+	if dev.initCount != 2 {
+		t.Fatalf("initCount = %d after update, want 2", dev.initCount)
+	}
+	if dev.restoredKind != "test.state" || string(dev.restored) != "cfg-v1" {
+		t.Fatalf("successor adopted (%q, %q), want (test.state, cfg-v1)",
+			dev.restoredKind, dev.restored)
+	}
+
+	// A second update carries the newer state (capsule version v2).
+	dev.payload = []byte("cfg-v2")
+	r.rs.UpdateService(ServiceConfig{Label: "drv", Version: "v3"})
+	r.env.Run(2 * time.Second)
+	if string(dev.restored) != "cfg-v2" {
+		t.Fatalf("second successor adopted %q, want cfg-v2", dev.restored)
+	}
+}
+
+// TestSalvageRejectedKeepsColdState: a capsule the device refuses leaves
+// the successor on its cold state — and alive.
+func TestSalvageRejectedKeepsColdState(t *testing.T) {
+	r := boot(t)
+	dev := &salvageDevice{payload: []byte("poisoned"), restoreErr: errors.New("bad state")}
+	cfg := svcCfg("drv", mechBinary(dev, drvlib.Options{Salvage: true}))
+	r.rs.StartService(cfg)
+	r.env.Run(time.Second)
+
+	r.rs.UpdateService(ServiceConfig{Label: "drv", Version: "v2"})
+	r.env.Run(2 * time.Second)
+	if dev.restored != nil {
+		t.Fatalf("rejected capsule adopted anyway: %q", dev.restored)
+	}
+	if r.rs.ServiceEndpoint("drv") == kernel.None {
+		t.Fatal("service down after rejecting a capsule")
+	}
+}

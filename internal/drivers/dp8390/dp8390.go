@@ -13,6 +13,7 @@
 package dp8390
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -262,6 +263,11 @@ type Config struct {
 	QueueLen int
 	// OnVM is the fault-injection hook, called with each instance's VM.
 	OnVM func(*ucode.VM)
+	// Mechanism selects the driver half of the recovery mechanism; it
+	// must match the service's RS configuration.
+	Mechanism drvlib.Mechanism
+	// Salvage enables the state-capsule save/restore handshake.
+	Salvage bool
 }
 
 // Binary returns the service binary for this driver.
@@ -271,7 +277,7 @@ func Binary(cfg Config) func(c *kernel.Ctx) {
 	}
 	return func(c *kernel.Ctx) {
 		d := &driver{cfg: cfg}
-		drvlib.Run(c, d)
+		drvlib.RunWith(c, d, drvlib.Options{Mechanism: cfg.Mechanism, Salvage: cfg.Salvage})
 	}
 }
 
@@ -286,8 +292,9 @@ type driver struct {
 
 var errResetTimeout = errors.New("dp8390: reset did not complete")
 
-// Init implements drvlib.Device.
-func (d *driver) Init(c *kernel.Ctx) error {
+// setup builds the instance's pristine VM and attaches it to the card's
+// IRQ and DMA window, without touching device state.
+func (d *driver) setup(c *kernel.Ctx) error {
 	img := image(d.cfg.NIC.PortRange().Lo)
 	d.vm = ucode.New(img, drvlib.CtxBus{C: c})
 	if d.cfg.OnVM != nil {
@@ -297,6 +304,29 @@ func (d *driver) Init(c *kernel.Ctx) error {
 	if err := c.IRQSubscribe(d.cfg.NIC.IRQ()); err != nil {
 		return fmt.Errorf("irq: %w", err)
 	}
+	return nil
+}
+
+// plantState seeds the software state block a fresh (zeroed) VM needs to
+// pass its own consistency checks: the canary and ring pointers that the
+// "reset" routine normally plants.
+func (d *driver) plantState() {
+	d.vm.RAM[ramCanary] = canaryMagic
+	d.vm.RAM[ramBnry] = 0
+	d.vm.RAM[ramCurr] = 0
+}
+
+// Init implements drvlib.Device.
+func (d *driver) Init(c *kernel.Ctx) error {
+	if err := d.setup(c); err != nil {
+		return err
+	}
+	return d.resetEnable(c)
+}
+
+// resetEnable pays the full hardware reset cycle and re-enables the
+// receiver.
+func (d *driver) resetEnable(c *kernel.Ctx) error {
 	drvlib.React(c, d.vm.Run("reset"))
 	deadline := c.Now() + 2*time.Second
 	for {
@@ -314,6 +344,78 @@ func (d *driver) Init(c *kernel.Ctx) error {
 	if !drvlib.React(c, d.vm.Run("enable")) {
 		return errors.New("dp8390: enable failed")
 	}
+	return nil
+}
+
+// Promote implements drvlib.Promoter: attach to the card the dead primary
+// left behind, skipping the reset cycle when the receiver is still
+// enabled. The software state block is re-planted either way — it lived
+// in the dead instance's VM, not in the card.
+func (d *driver) Promote(c *kernel.Ctx) error {
+	if err := d.setup(c); err != nil {
+		return err
+	}
+	d.plantState()
+	if drvlib.React(c, d.vm.Run("status")) {
+		st := d.vm.Regs[1]
+		if st&hw.NICStatEnabled != 0 && st&hw.NICStatResetBsy == 0 {
+			d.txBusy = st&hw.NICStatTxBusy != 0
+			return nil
+		}
+	}
+	return d.resetEnable(c)
+}
+
+// Microreboot implements drvlib.Microrebooter: swap in a pristine VM,
+// re-plant the software ring state, and re-derive the transmit
+// bookkeeping from the live card — the in-place reset that absorbs a
+// faulted VM without a hardware reset or respawn.
+func (d *driver) Microreboot(c *kernel.Ctx) error {
+	img := image(d.cfg.NIC.PortRange().Lo)
+	d.vm = ucode.New(img, drvlib.CtxBus{C: c})
+	if d.cfg.OnVM != nil {
+		d.cfg.OnVM(d.vm)
+	}
+	d.plantState()
+	if !drvlib.React(c, d.vm.Run("status")) {
+		return errors.New("dp8390: status probe failed after vm reset")
+	}
+	st := d.vm.Regs[1]
+	if st&hw.NICStatEnabled == 0 {
+		if !drvlib.React(c, d.vm.Run("enable")) {
+			return errors.New("dp8390: re-enable failed")
+		}
+	}
+	d.txBusy = st&hw.NICStatTxBusy != 0
+	d.pump(c)
+	return nil
+}
+
+// capsuleKind tags this driver's state capsules.
+const capsuleKind = "dp8390.conf"
+
+// SaveState implements drvlib.Salvager: the network server binding
+// survives a clean handover.
+func (d *driver) SaveState(c *kernel.Ctx) (string, []byte) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(d.client))
+	return capsuleKind, b[:]
+}
+
+// RestoreState implements drvlib.Salvager: validate, then adopt; a stale
+// client endpoint rejects the capsule.
+func (d *driver) RestoreState(c *kernel.Ctx, kind string, payload []byte) error {
+	if kind != capsuleKind || len(payload) != 8 {
+		return errors.New("dp8390: foreign or malformed capsule")
+	}
+	client := kernel.Endpoint(binary.LittleEndian.Uint64(payload))
+	if client == 0 || client == kernel.None {
+		return nil // predecessor had no client bound
+	}
+	if !c.Kernel().Alive(client) {
+		return errors.New("dp8390: capsule client endpoint is stale")
+	}
+	d.client = client
 	return nil
 }
 

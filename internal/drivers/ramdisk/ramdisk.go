@@ -8,6 +8,9 @@
 package ramdisk
 
 import (
+	"encoding/binary"
+	"errors"
+
 	"resilientos/internal/drvlib"
 	"resilientos/internal/hw"
 	"resilientos/internal/kernel"
@@ -22,6 +25,10 @@ type Config struct {
 	// disk driver keeps serving the same memory, like MINIX's RAM disk
 	// whose contents live in core, not in the driver process.
 	Backing *Store
+	// Mechanism selects the driver half of the recovery mechanism.
+	Mechanism drvlib.Mechanism
+	// Salvage enables the state-capsule save/restore handshake.
+	Salvage bool
 }
 
 // Store is the RAM disk's backing memory, deliberately held outside the
@@ -61,7 +68,7 @@ func Binary(cfg Config) func(c *kernel.Ctx) {
 	}
 	return func(c *kernel.Ctx) {
 		d := &driver{cfg: cfg}
-		drvlib.Run(c, d)
+		drvlib.RunWith(c, d, drvlib.Options{Mechanism: cfg.Mechanism, Salvage: cfg.Salvage})
 	}
 }
 
@@ -121,3 +128,31 @@ func (d *driver) HandleAlarm(c *kernel.Ctx) {}
 
 // Shutdown implements drvlib.Device.
 func (d *driver) Shutdown(c *kernel.Ctx) {}
+
+// capsuleKind tags this driver's state capsules.
+const capsuleKind = "ramdisk.geom"
+
+// SaveState implements drvlib.Salvager: the disk geometry survives a
+// clean handover.
+func (d *driver) SaveState(c *kernel.Ctx) (string, []byte) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(d.cfg.Sectors))
+	return capsuleKind, b[:]
+}
+
+// RestoreState implements drvlib.Salvager: validate, then adopt. A
+// capsule whose geometry disagrees with this instance's backing store
+// describes a different disk and is rejected rather than adopted.
+func (d *driver) RestoreState(c *kernel.Ctx, kind string, payload []byte) error {
+	if kind != capsuleKind || len(payload) != 8 {
+		return errors.New("ramdisk: foreign or malformed capsule")
+	}
+	sectors := int64(binary.LittleEndian.Uint64(payload))
+	if sectors <= 0 {
+		return errors.New("ramdisk: capsule geometry is non-positive")
+	}
+	if sectors != d.cfg.Sectors {
+		return errors.New("ramdisk: capsule geometry mismatch")
+	}
+	return nil
+}

@@ -10,8 +10,10 @@
 package sata
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"resilientos/internal/drvlib"
@@ -107,13 +109,18 @@ type Config struct {
 	Disk *hw.Disk
 	// OnVM is the fault-injection hook.
 	OnVM func(*ucode.VM)
+	// Mechanism selects the driver half of the recovery mechanism; it
+	// must match the service's RS configuration.
+	Mechanism drvlib.Mechanism
+	// Salvage enables the state-capsule save/restore handshake.
+	Salvage bool
 }
 
 // Binary returns the service binary for this driver.
 func Binary(cfg Config) func(c *kernel.Ctx) {
 	return func(c *kernel.Ctx) {
 		d := &driver{cfg: cfg}
-		drvlib.Run(c, d)
+		drvlib.RunWith(c, d, drvlib.Options{Mechanism: cfg.Mechanism, Salvage: cfg.Salvage})
 	}
 }
 
@@ -126,20 +133,36 @@ type driver struct {
 
 var errResetTimeout = errors.New("sata: reset did not complete")
 
-// Init implements drvlib.Device. The reset+identify here is what makes
-// disk-driver recovery slower than network-driver recovery in the paper's
-// Fig. 8 vs Fig. 7 comparison.
-func (d *driver) Init(c *kernel.Ctx) error {
+// setup builds the instance's pristine VM and attaches it to the disk's
+// IRQ and DMA window, without touching device state.
+func (d *driver) setup(c *kernel.Ctx) error {
 	img := image(d.cfg.Disk.PortRange().Lo)
 	d.vm = ucode.New(img, drvlib.CtxBus{C: c})
 	if d.cfg.OnVM != nil {
 		d.cfg.OnVM(d.vm)
 	}
 	d.handle = d.cfg.Disk.Handle()
-	d.opened = make(map[int64]bool)
+	if d.opened == nil {
+		d.opened = make(map[int64]bool)
+	}
 	if err := c.IRQSubscribe(d.cfg.Disk.IRQ()); err != nil {
 		return fmt.Errorf("irq: %w", err)
 	}
+	return nil
+}
+
+// Init implements drvlib.Device. The reset+identify here is what makes
+// disk-driver recovery slower than network-driver recovery in the paper's
+// Fig. 8 vs Fig. 7 comparison.
+func (d *driver) Init(c *kernel.Ctx) error {
+	if err := d.setup(c); err != nil {
+		return err
+	}
+	return d.resetIdentify(c)
+}
+
+// resetIdentify pays the full DiskResetDelay cycle.
+func (d *driver) resetIdentify(c *kernel.Ctx) error {
 	drvlib.React(c, d.vm.Run("reset"))
 	deadline := c.Now() + 10*time.Second
 	for {
@@ -155,6 +178,84 @@ func (d *driver) Init(c *kernel.Ctx) error {
 			return errResetTimeout
 		}
 	}
+}
+
+// Promote implements drvlib.Promoter: attach to the disk the dead primary
+// left behind. A crash does not reset the device, so it is normally still
+// ready and the DiskResetDelay cycle — the dominant term in Fig. 8's
+// recovery time — is skipped. A device found busy or not ready pays the
+// full reset.
+func (d *driver) Promote(c *kernel.Ctx) error {
+	if err := d.setup(c); err != nil {
+		return err
+	}
+	if drvlib.React(c, d.vm.Run("status")) {
+		st := d.vm.Regs[1]
+		if st&hw.DiskStatBusy == 0 && st&hw.DiskStatReady != 0 {
+			return nil
+		}
+	}
+	return d.resetIdentify(c)
+}
+
+// Microreboot implements drvlib.Microrebooter: swap in a pristine VM
+// against the live device. Open minors survive — they were never the
+// faulty state.
+func (d *driver) Microreboot(c *kernel.Ctx) error {
+	img := image(d.cfg.Disk.PortRange().Lo)
+	d.vm = ucode.New(img, drvlib.CtxBus{C: c})
+	if d.cfg.OnVM != nil {
+		d.cfg.OnVM(d.vm)
+	}
+	if !drvlib.React(c, d.vm.Run("status")) {
+		return errors.New("sata: status probe failed after vm reset")
+	}
+	st := d.vm.Regs[1]
+	if st&hw.DiskStatBusy != 0 || st&hw.DiskStatReady == 0 {
+		return errors.New("sata: device not ready after vm reset")
+	}
+	return nil
+}
+
+// capsuleKind tags this driver's state capsules.
+const capsuleKind = "sata.queue"
+
+// SaveState implements drvlib.Salvager: the open-minor table — the
+// pending-queue summary of a quiesced disk driver — survives a clean
+// handover, so the file server's open devices stay open.
+func (d *driver) SaveState(c *kernel.Ctx) (string, []byte) {
+	minors := make([]int64, 0, len(d.opened))
+	for m, open := range d.opened {
+		if open {
+			minors = append(minors, m)
+		}
+	}
+	sort.Slice(minors, func(i, j int) bool { return minors[i] < minors[j] })
+	b := make([]byte, 0, 4+8*len(minors))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(minors)))
+	for _, m := range minors {
+		b = binary.LittleEndian.AppendUint64(b, uint64(m))
+	}
+	return capsuleKind, b
+}
+
+// RestoreState implements drvlib.Salvager: validate, then adopt.
+func (d *driver) RestoreState(c *kernel.Ctx, kind string, payload []byte) error {
+	if kind != capsuleKind || len(payload) < 4 {
+		return errors.New("sata: foreign or malformed capsule")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if n < 0 || n > 1024 || len(payload) != 4+8*n {
+		return errors.New("sata: capsule minor count out of range")
+	}
+	for i := 0; i < n; i++ {
+		minor := int64(binary.LittleEndian.Uint64(payload[4+8*i:]))
+		if minor < 0 {
+			return errors.New("sata: capsule names a negative minor")
+		}
+		d.opened[minor] = true
+	}
+	return nil
 }
 
 // HandleRequest implements drvlib.Device: the synchronous block protocol.

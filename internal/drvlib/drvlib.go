@@ -6,11 +6,40 @@
 // five lines in the shared library (Fig. 9 lists both Ethernet drivers and
 // the SATA driver at 5 recovery LoC, the RAM disk at 0).
 //
-// Lines that exist only to support recovery are marked "// [recovery]" —
-// the marker cmd/locstats counts to regenerate Fig. 9.
+// Beyond the paper's kill-and-respawn baseline, the library implements
+// the driver half of the pluggable recovery mechanisms:
+//
+//   - warm standby (MechStandby): an instance spawned under the
+//     "<label>/sb" replica label parks in a wait loop without touching
+//     the hardware (initializing it would reset the card under the live
+//     primary), and attaches only when the reincarnation server promotes
+//     it — via the Promoter fast path when the device survived the
+//     primary's death, or a full Init otherwise.
+//   - microreboot (MechMicroreboot): fatal ucode VM outcomes raised
+//     during steady-state dispatch are intercepted before they kill the
+//     process; the driver asks the reincarnation server for permission
+//     and, if granted, resets its VM and ring state in place via the
+//     Microrebooter hook — no respawn, no re-grant churn. Denial or a
+//     failed reset falls back to the original fatal (full respawn).
+//   - state salvage (Options.Salvage): devices implementing Salvager
+//     flush a small versioned state capsule to the data store on clean
+//     shutdown; the successor instance retrieves, validates, and adopts
+//     it instead of cold re-initializing, rejecting corrupt capsules.
+//
+// Lines that exist only to support the paper's baseline recovery —
+// answering heartbeats and honoring shutdown — carry the recovery
+// marker cmd/locstats counts to regenerate Fig. 9. The count
+// deliberately excludes the beyond-paper mechanism layer (standby
+// parking, microreboot interception, salvage): that is opt-in machinery
+// the paper's 5-line claim never covered.
 package drvlib
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
 	"time"
 
 	"resilientos/internal/kernel"
@@ -18,6 +47,62 @@ import (
 	"resilientos/internal/proto"
 	"resilientos/internal/ucode"
 )
+
+// Mechanism selects how the reincarnation server recovers a driver.
+type Mechanism uint8
+
+// The recovery mechanisms, in escalation order.
+const (
+	// MechRespawn is the paper's baseline: kill and respawn.
+	MechRespawn Mechanism = iota
+	// MechMicroreboot resets the driver's ucode VM state in place on a
+	// crash or stuck heartbeat, falling back to a full respawn when the
+	// microreboot fails or repeats within its budget.
+	MechMicroreboot
+	// MechStandby keeps a warm replica pre-spawned; on a crash the data
+	// store atomically republishes the service endpoint to the promoted
+	// replica and a fresh standby is back-filled in the background.
+	MechStandby
+)
+
+func (m Mechanism) String() string {
+	switch m {
+	case MechRespawn:
+		return "respawn"
+	case MechMicroreboot:
+		return "microreboot"
+	case MechStandby:
+		return "standby"
+	}
+	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// ParseMechanism resolves a mechanism name; ok is false for unknown.
+func ParseMechanism(s string) (Mechanism, bool) {
+	switch s {
+	case "respawn":
+		return MechRespawn, true
+	case "microreboot":
+		return MechMicroreboot, true
+	case "standby":
+		return MechStandby, true
+	}
+	return 0, false
+}
+
+// StandbySuffix is the label suffix of warm standby replica instances
+// ("eth.rtl8139/sb"). The reincarnation server spawns replicas under it
+// and the kernel relabel at promotion strips it.
+const StandbySuffix = "/sb"
+
+// IsStandbyLabel reports whether label names a warm standby replica.
+func IsStandbyLabel(label string) bool { return strings.HasSuffix(label, StandbySuffix) }
+
+// StandbyLabel returns the replica label for a service label.
+func StandbyLabel(label string) string { return label + StandbySuffix }
+
+// PrimaryLabel returns the service label a replica label belongs to.
+func PrimaryLabel(label string) string { return strings.TrimSuffix(label, StandbySuffix) }
 
 // Device is the driver-specific half of a driver process. Run supplies
 // the message loop; the Device supplies hardware knowledge.
@@ -36,8 +121,66 @@ type Device interface {
 	Shutdown(c *kernel.Ctx)
 }
 
-// Run executes the canonical driver message loop. It does not return
-// except by process exit.
+// Promoter is the standby fast-attach hook: attach to hardware that is
+// already initialized and running (the device survived the primary's
+// death), skipping the reset cycle a cold Init would pay. A promoted
+// replica without this hook — or whose Promote fails — runs a full Init.
+type Promoter interface {
+	Promote(c *kernel.Ctx) error
+}
+
+// Microrebooter is the in-place reset hook: rebuild the driver's ucode
+// VM and ring bookkeeping from pristine state without resetting the
+// hardware or respawning the process. An error falls the driver back to
+// the fatal outcome the microreboot tried to absorb.
+type Microrebooter interface {
+	Microreboot(c *kernel.Ctx) error
+}
+
+// Salvager is implemented by devices with crash-consistent state worth
+// carrying across instances (configuration, open minors, geometry).
+type Salvager interface {
+	// SaveState returns the state capsule payload to flush on a clean
+	// shutdown, tagged with a device-specific kind.
+	SaveState(c *kernel.Ctx) (kind string, payload []byte)
+	// RestoreState validates a predecessor's capsule payload and adopts
+	// it. An error rejects the capsule (the driver keeps its cold state).
+	RestoreState(c *kernel.Ctx, kind string, payload []byte) error
+}
+
+// Options configures the message loop's recovery behavior beyond the
+// paper's baseline. The zero value is the baseline (respawn, no salvage).
+type Options struct {
+	Mechanism Mechanism
+	// Salvage enables the state-capsule save/restore handshake for
+	// devices implementing Salvager.
+	Salvage bool
+}
+
+// runState is the per-instance loop state, parked in the process-local
+// slot so package helpers (React, Stuck) can reach it with only a Ctx.
+type runState struct {
+	opts       Options
+	armed      bool   // inside steady-state dispatch: VM fatals are catchable
+	capVersion uint32 // version of the last adopted/saved capsule
+}
+
+// vmFatal carries an intercepted fatal VM outcome up to the dispatch
+// recover.
+type vmFatal struct{ res ucode.Result }
+
+func state(c *kernel.Ctx) *runState {
+	st, _ := c.Local().(*runState)
+	return st
+}
+
+// Run executes the canonical driver message loop with baseline recovery
+// (kill-and-respawn, no salvage). It does not return except by process
+// exit.
+func Run(c *kernel.Ctx, d Device) { RunWith(c, d, Options{}) }
+
+// RunWith executes the canonical driver message loop under the given
+// recovery options. It does not return except by process exit.
 //
 // When span tracing is on the loop also carries the causal story: the
 // process starts under its spawner's ambient context — for an instance
@@ -47,42 +190,179 @@ type Device interface {
 // A driver that dies mid-request leaves that span open; the kernel's
 // reaper orphans it, which is how a crash-interrupted request becomes
 // visible in the trace.
-func Run(c *kernel.Ctx, d Device) {
-	initSpan := c.BeginWork("init", c.TraceCtx())
-	if err := d.Init(c); err != nil {
-		c.Panic("init: " + err.Error())
+func RunWith(c *kernel.Ctx, d Device, opts Options) {
+	st := &runState{opts: opts}
+	c.SetLocal(st)
+	if IsStandbyLabel(c.Label()) {
+		standby(c)
+		attach(c, d)
+	} else {
+		initSpan := c.BeginWork("init", c.TraceCtx())
+		if err := d.Init(c); err != nil {
+			c.Panic("init: " + err.Error())
+		}
+		c.EndWork(initSpan, 0)
 	}
-	c.EndWork(initSpan, 0)
+	adoptCapsule(c, d, st)
 	c.SetTraceCtx(obs.SpanContext{}) // startup context must not bleed into steady state
 	for {
 		m, err := c.Receive(kernel.Any)
 		if err != nil {
 			c.Panic("receive: " + err.Error())
 		}
+		if fatal := dispatch(c, d, st, m); fatal != nil {
+			microReboot(c, d, st, fatal)
+		}
+	}
+}
+
+// dispatch routes one message. Under MechMicroreboot the handlers run
+// armed: a fatal VM outcome unwinds here as a *vmFatal instead of
+// killing the process, and is returned for the microreboot path.
+func dispatch(c *kernel.Ctx, d Device, st *runState, m kernel.Message) (fatal *vmFatal) {
+	if st.opts.Mechanism == MechMicroreboot {
+		st.armed = true
+		defer func() {
+			st.armed = false
+			r := recover()
+			if r == nil {
+				return
+			}
+			f, ok := r.(*vmFatal)
+			if !ok {
+				panic(r) // process unwind or a real bug: not ours to absorb
+			}
+			fatal = f
+		}()
+	}
+	switch {
+	case m.Type == kernel.MsgNotify && m.Source == kernel.Hardware:
+		// Interrupts are context-free; clear the stale ambient so
+		// frames delivered from IRQ handling aren't attributed to the
+		// last request this driver processed.
+		c.SetTraceCtx(obs.SpanContext{})
+		d.HandleIRQ(c, uint64(m.Arg1))
+	case m.Type == kernel.MsgNotify && m.Source == kernel.Clock:
+		c.SetTraceCtx(obs.SpanContext{})
+		d.HandleAlarm(c)
+	case m.Type == kernel.MsgNotify && m.Source == kernel.System:
+		for _, sig := range c.SigPending() {
+			if sig == kernel.SIGTERM { // [recovery] shutdown request
+				saveCapsule(c, d, st) // [recovery] flush state capsule
+				d.Shutdown(c)         // [recovery]
+				c.Exit(0)             // [recovery]
+			}
+		}
+	case m.Type == proto.RSPing: // [recovery] heartbeat request
+		_ = c.AsyncSend(m.Source, kernel.Message{Type: proto.RSPong}) // [recovery]
+	default:
+		sc := c.BeginWork(reqName(m.Type), m.Trace)
+		d.HandleRequest(c, m)
+		c.EndWork(sc, 0)
+	}
+	return nil
+}
+
+// standby is the warm replica's wait loop: answer heartbeats, honor
+// shutdown, and return when the reincarnation server promotes us. The
+// replica must not touch the hardware here — the primary owns it.
+func standby(c *kernel.Ctx) {
+	c.SetTraceCtx(obs.SpanContext{})
+	for {
+		m, err := c.Receive(kernel.Any)
+		if err != nil {
+			c.Panic("standby receive: " + err.Error())
+		}
 		switch {
-		case m.Type == kernel.MsgNotify && m.Source == kernel.Hardware:
-			// Interrupts are context-free; clear the stale ambient so
-			// frames delivered from IRQ handling aren't attributed to the
-			// last request this driver processed.
-			c.SetTraceCtx(obs.SpanContext{})
-			d.HandleIRQ(c, uint64(m.Arg1))
-		case m.Type == kernel.MsgNotify && m.Source == kernel.Clock:
-			c.SetTraceCtx(obs.SpanContext{})
-			d.HandleAlarm(c)
 		case m.Type == kernel.MsgNotify && m.Source == kernel.System:
 			for _, sig := range c.SigPending() {
-				if sig == kernel.SIGTERM { // [recovery] shutdown request
-					d.Shutdown(c) // [recovery]
-					c.Exit(0)     // [recovery]
+				if sig == kernel.SIGTERM {
+					c.Exit(0)
 				}
 			}
-		case m.Type == proto.RSPing: // [recovery] heartbeat request
-			_ = c.AsyncSend(m.Source, kernel.Message{Type: proto.RSPong}) // [recovery]
-		default:
-			sc := c.BeginWork(reqName(m.Type), m.Trace)
-			d.HandleRequest(c, m)
-			c.EndWork(sc, 0)
+		case m.Type == proto.RSPing:
+			_ = c.AsyncSend(m.Source, kernel.Message{Type: proto.RSPong})
+		case m.Type == proto.RSPromote:
+			return
 		}
+	}
+}
+
+// attach brings a promoted replica onto the device: the Promoter fast
+// path when available (the card survived the primary's death and needs
+// no reset), a full Init otherwise. Failure kills the instance — the
+// reincarnation server then falls back to an ordinary respawn.
+func attach(c *kernel.Ctx, d Device) {
+	span := c.BeginWork("promote", c.TraceCtx())
+	var err error
+	if p, ok := d.(Promoter); ok {
+		err = p.Promote(c)
+	} else {
+		err = d.Init(c)
+	}
+	if err != nil {
+		c.Panic("promote: " + err.Error())
+	}
+	c.EndWork(span, 0)
+}
+
+// microReboot is the in-place recovery path for an intercepted fatal VM
+// outcome: ask the reincarnation server for permission, reset via the
+// Microrebooter hook, and report completion. On denial or failure it
+// executes the original fatal and never returns.
+func microReboot(c *kernel.Ctx, d Device, st *runState, f *vmFatal) {
+	rs := c.LookupLabel("rs")
+	mr, can := d.(Microrebooter)
+	if can && rs != kernel.None {
+		ask := kernel.Message{Type: proto.RSMicroAsk, Name: c.Label(), Arg1: int64(microClass(f.res.Outcome))}
+		reply, err := c.SendRec(rs, ask)
+		if err == nil && reply.Arg1 == proto.OK {
+			if err := mr.Microreboot(c); err == nil {
+				_ = c.AsyncSend(rs, kernel.Message{Type: proto.RSMicroDone, Name: c.Label()})
+				return
+			}
+		}
+	}
+	executeFatal(c, f.res)
+}
+
+// microClass maps a fatal VM outcome to the defect class its uncaught
+// form would manifest as (the numeric values of core.Defect): a
+// consistency assert panics the process (class 1, exit), traps kill it
+// (class 2, exception), a stall wedges it (class 4, heartbeat).
+func microClass(o ucode.Outcome) int {
+	switch o {
+	case ucode.OutcomeAssert:
+		return 1
+	case ucode.OutcomeMMU, ucode.OutcomeCPU:
+		return 2
+	case ucode.OutcomeStall:
+		return 4
+	}
+	return 1
+}
+
+// executeFatal carries out the process-fatal behavior of a VM outcome.
+func executeFatal(c *kernel.Ctx, res ucode.Result) {
+	switch res.Outcome {
+	case ucode.OutcomeAssert:
+		c.Panic(res.Reason)
+	case ucode.OutcomeMMU:
+		c.Trap(kernel.ExcMMU)
+	case ucode.OutcomeCPU:
+		c.Trap(kernel.ExcCPU)
+	default:
+		wedge(c)
+	}
+}
+
+// microFatal raises a fatal VM outcome as a catchable unwind when the
+// caller is inside armed microreboot dispatch; otherwise it returns and
+// the caller carries out the process-fatal behavior.
+func microFatal(c *kernel.Ctx, res ucode.Result) {
+	if st := state(c); st != nil && st.armed {
+		st.armed = false
+		panic(&vmFatal{res: res})
 	}
 }
 
@@ -113,8 +393,14 @@ func reqName(t int32) string {
 
 // Stuck emulates a driver wedged in an infinite loop: the process stays
 // alive but never again answers messages — detectable only through missed
-// heartbeats (defect class 4). It never returns.
+// heartbeats (defect class 4). Under armed microreboot dispatch the wedge
+// is intercepted like any other fatal VM outcome. It never returns.
 func Stuck(c *kernel.Ctx) {
+	microFatal(c, ucode.Result{Outcome: ucode.OutcomeStall, Reason: "stuck"})
+	wedge(c)
+}
+
+func wedge(c *kernel.Ctx) {
 	for {
 		c.Sleep(time.Hour)
 	}
@@ -141,21 +427,145 @@ func (b CtxBus) Out(port uint32, val uint32) bool {
 // panic the driver, traps kill it with the corresponding exception, and a
 // stall wedges the process — the §7.2 failure classes. It returns true if
 // the routine succeeded, false if it reported a clean failure. On the
-// fatal outcomes it never returns.
+// fatal outcomes it never returns — except under armed microreboot
+// dispatch, where the fatal unwinds to the message loop for an in-place
+// recovery attempt instead of killing the process.
 func React(c *kernel.Ctx, res ucode.Result) bool {
 	switch res.Outcome {
 	case ucode.OutcomeOK:
 		return true
 	case ucode.OutcomeFail:
 		return false
-	case ucode.OutcomeAssert:
-		c.Panic(res.Reason)
-	case ucode.OutcomeMMU:
-		c.Trap(kernel.ExcMMU)
-	case ucode.OutcomeCPU:
-		c.Trap(kernel.ExcCPU)
-	case ucode.OutcomeStall:
-		Stuck(c)
 	}
+	microFatal(c, res)
+	executeFatal(c, res)
 	return false
+}
+
+// ---------------------------------------------------------------------
+// State capsules
+
+// Capsule framing constants.
+const (
+	capsuleMagic      = "RSC1"
+	capsuleMaxKind    = 64
+	capsuleMaxPayload = 1 << 20
+)
+
+// Capsule errors.
+var (
+	ErrCapsuleTruncated = errors.New("drvlib: capsule truncated")
+	ErrCapsuleMagic     = errors.New("drvlib: bad capsule magic")
+	ErrCapsuleCRC       = errors.New("drvlib: capsule checksum mismatch")
+	ErrCapsuleSize      = errors.New("drvlib: capsule field size out of range")
+)
+
+// EncodeCapsule frames a versioned state capsule:
+//
+//	"RSC1" | version u32 LE | kindLen u8 | kind | payloadLen u32 LE |
+//	payload | CRC32-IEEE of everything preceding, u32 LE
+//
+// The version is monotonically increasing per service label (the
+// checker's capsule invariant); the CRC lets a successor reject a
+// corrupt capsule instead of adopting garbage.
+func EncodeCapsule(version uint32, kind string, payload []byte) []byte {
+	b := make([]byte, 0, len(capsuleMagic)+4+1+len(kind)+4+len(payload)+4)
+	b = append(b, capsuleMagic...)
+	b = binary.LittleEndian.AppendUint32(b, version)
+	b = append(b, byte(len(kind)))
+	b = append(b, kind...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// DecodeCapsule parses and verifies a capsule. It never panics: a
+// truncated, oversized, or corrupt input is an error.
+func DecodeCapsule(b []byte) (version uint32, kind string, payload []byte, err error) {
+	const header = len(capsuleMagic) + 4 + 1
+	if len(b) < header+4+4 {
+		return 0, "", nil, ErrCapsuleTruncated
+	}
+	if string(b[:len(capsuleMagic)]) != capsuleMagic {
+		return 0, "", nil, ErrCapsuleMagic
+	}
+	version = binary.LittleEndian.Uint32(b[len(capsuleMagic):])
+	kindLen := int(b[header-1])
+	if kindLen > capsuleMaxKind {
+		return 0, "", nil, ErrCapsuleSize
+	}
+	if len(b) < header+kindLen+4+4 {
+		return 0, "", nil, ErrCapsuleTruncated
+	}
+	kind = string(b[header : header+kindLen])
+	payLen := int(binary.LittleEndian.Uint32(b[header+kindLen:]))
+	if payLen > capsuleMaxPayload {
+		return 0, "", nil, ErrCapsuleSize
+	}
+	body := header + kindLen + 4 + payLen
+	if len(b) != body+4 {
+		return 0, "", nil, ErrCapsuleTruncated
+	}
+	if crc32.ChecksumIEEE(b[:body]) != binary.LittleEndian.Uint32(b[body:]) {
+		return 0, "", nil, ErrCapsuleCRC
+	}
+	payload = append([]byte(nil), b[header+kindLen+4:body]...)
+	return version, kind, payload, nil
+}
+
+// capsuleKey is the data-store key capsules live under (the record is
+// additionally bound to the saving instance's stable label).
+const capsuleKey = "capsule"
+
+// saveCapsule flushes the device's state capsule to the data store on a
+// clean shutdown (the terminate half of the flush/terminate handshake).
+func saveCapsule(c *kernel.Ctx, d Device, st *runState) {
+	sal, ok := d.(Salvager)
+	if !ok || !st.opts.Salvage {
+		return
+	}
+	ds := c.LookupLabel("ds")
+	if ds == kernel.None {
+		return
+	}
+	kind, payload := sal.SaveState(c)
+	st.capVersion++
+	blob := EncodeCapsule(st.capVersion, kind, payload)
+	reply, err := c.SendRec(ds, kernel.Message{Type: proto.DSStore, Name: capsuleKey, Payload: blob})
+	if err != nil || reply.Arg2 != proto.OK {
+		return
+	}
+	c.Obs().Emit(obs.KindCapsuleSave, c.Label(), kind, int64(st.capVersion), int64(len(payload)))
+}
+
+// adoptCapsule retrieves the predecessor instance's state capsule from
+// the data store (authenticated by the shared stable label), validates
+// it, and adopts it via the Salvager hook. Corrupt or rejected capsules
+// leave the driver on its cold state and are reported with V2 = 1.
+func adoptCapsule(c *kernel.Ctx, d Device, st *runState) {
+	sal, ok := d.(Salvager)
+	if !ok || !st.opts.Salvage {
+		return
+	}
+	ds := c.LookupLabel("ds")
+	if ds == kernel.None {
+		return
+	}
+	reply, err := c.SendRec(ds, kernel.Message{Type: proto.DSRetrieve, Name: capsuleKey})
+	if err != nil || reply.Arg2 != proto.OK || len(reply.Payload) == 0 {
+		return // no capsule: cold start
+	}
+	version, kind, payload, err := DecodeCapsule(reply.Payload)
+	if err != nil {
+		c.Logf("capsule rejected: %v", err)
+		c.Obs().Emit(obs.KindCapsuleAdopt, c.Label(), "corrupt", int64(version), 1)
+		return
+	}
+	if err := sal.RestoreState(c, kind, payload); err != nil {
+		c.Logf("capsule v%d rejected: %v", version, err)
+		c.Obs().Emit(obs.KindCapsuleAdopt, c.Label(), kind, int64(version), 1)
+		return
+	}
+	st.capVersion = version
+	c.Obs().Emit(obs.KindCapsuleAdopt, c.Label(), kind, int64(version), 0)
 }

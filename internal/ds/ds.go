@@ -106,6 +106,8 @@ func (d *DS) run(c *kernel.Ctx) {
 			d.publish(m)
 		case proto.DSWithdraw:
 			d.withdraw(m)
+		case proto.DSFailover:
+			d.failover(m)
 		case proto.DSLookup:
 			d.lookup(m)
 		case proto.DSSubscribe:
@@ -154,6 +156,36 @@ func (d *DS) withdraw(m kernel.Message) {
 	d.reply(m.Source, kernel.Message{Type: proto.DSAck, Arg2: proto.OK})
 	d.fanout(m.Name, proto.InvalidEndpoint)
 }
+
+// failover atomically republishes a name onto a promoted standby
+// replica. It refuses (ErrExist) while the currently published endpoint
+// is still a live process: a name never has two live owners, so the old
+// instance must be dead before the replica may take the name over. The
+// republish and fanout happen in one DS turn — subscribers never observe
+// an intermediate withdrawn state.
+// [recovery:begin]
+func (d *DS) failover(m kernel.Message) {
+	if d.senderLabel(m.Source) != publisherLabel {
+		d.reply(m.Source, kernel.Message{Type: proto.DSAck, Arg2: proto.ErrPerm})
+		return
+	}
+	next := kernel.Endpoint(m.Arg1)
+	if cur, ok := d.names[m.Name]; ok && cur != next && d.ctx.Kernel().Alive(cur) {
+		d.ctx.Logf("failover %s refused: %v still live", m.Name, cur)
+		d.reply(m.Source, kernel.Message{Type: proto.DSAck, Arg2: proto.ErrExist})
+		return
+	}
+	if _, exists := d.names[m.Name]; !exists {
+		d.sorted = nil
+	}
+	d.names[m.Name] = next
+	d.ctx.Logf("failover %s -> %v", m.Name, next)
+	d.ctx.Obs().Emit(obs.KindPublish, Label, m.Name, m.Arg1, 0)
+	d.reply(m.Source, kernel.Message{Type: proto.DSAck, Arg2: proto.OK})
+	d.fanout(m.Name, m.Arg1)
+}
+
+// [recovery:end]
 
 // fanout pushes a naming change to every matching subscriber. Dead
 // subscribers are pruned. This is the publish/subscribe dissemination that

@@ -178,6 +178,25 @@ func (c *Ctx) Spawn(label string, priv Privileges, body func(*Ctx)) (Endpoint, e
 	return nc.e.ep, nil
 }
 
+// Relabel changes the stable label of the live process with endpoint ep
+// (requires CallPrivCtl — label assignment is a privilege-control
+// operation only the reincarnation server holds). Used during standby
+// promotion to hand a hot replica the dead primary's service label.
+func (c *Ctx) Relabel(ep Endpoint, label string) error {
+	if !c.e.priv.allowsCall(CallPrivCtl) {
+		return ErrNotAllowed
+	}
+	return c.k.Relabel(ep, label)
+}
+
+// SetLocal stores one process-local value on the calling process. The
+// driver library uses the slot for per-instance run state that package-
+// level helpers (React, Stuck) must reach with only the Ctx in hand.
+func (c *Ctx) SetLocal(v any) { c.e.local = v }
+
+// Local returns the value stored by SetLocal (nil if never set).
+func (c *Ctx) Local() any { return c.e.local }
+
 // CreateGrant exposes buf to the grantee (or Any) with the given access and
 // returns the grant ID to pass along in a request message.
 func (c *Ctx) CreateGrant(buf []byte, access GrantAccess, to Endpoint) GrantID {

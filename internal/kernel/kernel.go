@@ -182,6 +182,8 @@ type procEntry struct {
 	// Causal-tracing state (only touched when the kernel has a recorder).
 	traceCtx  obs.SpanContext   // ambient context stamped on outgoing sends
 	openSpans []obs.SpanContext // spans opened via Ctx, orphaned if we die
+
+	local any // process-local library slot (Ctx.SetLocal / Ctx.Local)
 }
 
 // wake values delivered through sim.Proc.Park.
@@ -278,6 +280,31 @@ func (k *Kernel) LabelOf(ep Endpoint) string {
 		return ""
 	}
 	return e.label
+}
+
+// Relabel changes the stable label of a live process instance — the
+// kernel half of a standby promotion: the reincarnation server renames
+// a hot replica ("eth.rtl8139/sb") to the service label its dead
+// primary just freed, so label-authenticated facilities (the data
+// store's private records, PM death reporting, trace components) treat
+// the replica as the service's next incarnation. Refused when another
+// live process already bears the target label: two live owners of one
+// label would break endpoint-unique.
+func (k *Kernel) Relabel(ep Endpoint, label string) error {
+	e := k.lookup(ep)
+	if e == nil {
+		return ErrDeadDst
+	}
+	if cur, ok := k.byLabel[label]; ok && cur != e && cur.alive {
+		return ErrNotAllowed
+	}
+	k.env.Logf("kernel", "relabel %s -> %s ep=%v", e.label, label, ep)
+	if k.byLabel[e.label] == e {
+		delete(k.byLabel, e.label)
+	}
+	e.label = label
+	k.byLabel[label] = e
+	return nil
 }
 
 // MayComplain reports whether the process with the given endpoint holds

@@ -42,6 +42,11 @@ const (
 	DSRetrieve
 	// DSAck: generic DS reply. Arg2 = 0 on success, else error code.
 	DSAck
+	// DSFailover: atomically republish Name -> endpoint (Arg1) during a
+	// standby promotion. Authorized publishers only; refused (ErrExist)
+	// when the currently published endpoint is still a live process —
+	// a name never has two live owners. Reply: DSAck.
+	DSFailover
 )
 
 // Reincarnation server (RS) protocol.
@@ -65,6 +70,16 @@ const (
 	RSReboot
 	// RSAck: generic RS reply. Arg1 = 0 on success, else error code.
 	RSAck
+	// RSPromote: RS -> standby replica (async): take over service Name.
+	// The replica attaches to the device and starts serving.
+	RSPromote
+	// RSMicroAsk: driver -> RS: my ucode VM faulted (defect class Arg1);
+	// may I microreboot it in place? Reply: RSAck with Arg1 = OK to
+	// proceed, else the driver must fall back to dying (full respawn).
+	RSMicroAsk
+	// RSMicroDone: driver -> RS (async): the in-place microreboot
+	// completed and the driver is serving again.
+	RSMicroDone
 )
 
 // Ethernet driver protocol (network server <-> driver).

@@ -110,6 +110,18 @@ type Config struct {
 	// MaxRestarts bounds consecutive recoveries per driver (0 = forever).
 	MaxRestarts int
 
+	// Mechanism selects the recovery mechanism for the guarded ucode
+	// drivers (eth.rtl8139, eth.dp8390, disk.sata, disk.ram): classic
+	// kill-and-respawn (the zero value), in-place microreboot, or a warm
+	// standby replica promoted on failure. Drivers without the matching
+	// hooks fall back to respawn behavior transparently.
+	Mechanism core.Mechanism
+	// Salvage enables the crash-consistent state-capsule handshake: on a
+	// clean shutdown a driver flushes a small versioned capsule to the
+	// data store, and its successor validates-then-adopts it instead of
+	// cold-starting.
+	Salvage bool
+
 	// PreallocFiles are materialized by mkfs with pseudo-random content
 	// already "on disk" — e.g. the Fig. 8 experiment's 1-GB random file.
 	PreallocFiles []PreallocFile
@@ -266,24 +278,28 @@ func (sys *System) bootNet() {
 	m := sys.Machine
 	// Local drivers.
 	sys.RS.StartService(core.ServiceConfig{
-		Label:           DriverRTL8139,
-		Binary:          rtl8139.Binary(rtl8139.Config{NIC: m.NIC0, OnVM: sys.trackVM(DriverRTL8139)}),
+		Label: DriverRTL8139,
+		Binary: rtl8139.Binary(rtl8139.Config{NIC: m.NIC0, OnVM: sys.trackVM(DriverRTL8139),
+			Mechanism: cfg.Mechanism, Salvage: cfg.Salvage}),
 		Priv:            sys.driverPriv(m.NIC0.PortRange(), m.NIC0.IRQ()),
 		HeartbeatPeriod: sys.hb(),
 		HeartbeatMisses: cfg.HeartbeatMisses,
 		Policy:          cfg.NetPolicy,
 		PolicyParams:    cfg.NetPolicyParams,
 		MaxRestarts:     cfg.MaxRestarts,
+		Mechanism:       cfg.Mechanism,
 	})
 	sys.RS.StartService(core.ServiceConfig{
-		Label:           DriverDP8390,
-		Binary:          dp8390.Binary(dp8390.Config{NIC: m.NIC1, OnVM: sys.trackVM(DriverDP8390)}),
+		Label: DriverDP8390,
+		Binary: dp8390.Binary(dp8390.Config{NIC: m.NIC1, OnVM: sys.trackVM(DriverDP8390),
+			Mechanism: cfg.Mechanism, Salvage: cfg.Salvage}),
 		Priv:            sys.driverPriv(m.NIC1.PortRange(), m.NIC1.IRQ()),
 		HeartbeatPeriod: sys.hb(),
 		HeartbeatMisses: cfg.HeartbeatMisses,
 		Policy:          cfg.NetPolicy,
 		PolicyParams:    cfg.NetPolicyParams,
 		MaxRestarts:     cfg.MaxRestarts,
+		Mechanism:       cfg.Mechanism,
 	})
 	// Remote peer drivers: ideal, never killed by the experiments.
 	sys.RS.StartService(core.ServiceConfig{
@@ -338,18 +354,21 @@ func (sys *System) bootDisk() {
 		panic(err)
 	}
 	sys.RS.StartService(core.ServiceConfig{
-		Label:           DriverSATA,
-		Binary:          sata.Binary(sata.Config{Disk: m.Disk, OnVM: sys.trackVM(DriverSATA)}),
+		Label: DriverSATA,
+		Binary: sata.Binary(sata.Config{Disk: m.Disk, OnVM: sys.trackVM(DriverSATA),
+			Mechanism: sys.cfg.Mechanism, Salvage: sys.cfg.Salvage}),
 		Priv:            sys.driverPriv(m.Disk.PortRange(), m.Disk.IRQ()),
 		HeartbeatPeriod: sys.hb(),
 		HeartbeatMisses: sys.cfg.HeartbeatMisses,
 		// §6.2: no policy script for disk drivers — direct RAM restart.
 		MaxRestarts: sys.cfg.MaxRestarts,
+		Mechanism:   sys.cfg.Mechanism,
 	})
 	sys.RAMStore = ramdisk.NewStore()
 	sys.RS.StartService(core.ServiceConfig{
-		Label:  DriverRAMDisk,
-		Binary: ramdisk.Binary(ramdisk.Config{Backing: sys.RAMStore}),
+		Label: DriverRAMDisk,
+		Binary: ramdisk.Binary(ramdisk.Config{Backing: sys.RAMStore,
+			Mechanism: sys.cfg.Mechanism, Salvage: sys.cfg.Salvage}),
 		Priv: kernel.Privileges{
 			IPCTo: []string{core.Label, ds.Label, ServerMFS, ServerVFS},
 			Calls: []kernel.Call{kernel.CallSafeCopy},
@@ -357,6 +376,7 @@ func (sys *System) bootDisk() {
 		},
 		HeartbeatPeriod: sys.hb(),
 		HeartbeatMisses: sys.cfg.HeartbeatMisses,
+		Mechanism:       sys.cfg.Mechanism,
 	})
 	// File server stack.
 	sys.MFS = mfs.New(mfs.Config{
@@ -431,6 +451,23 @@ func (sys *System) After(d time.Duration, fn func()) {
 // ("repeatedly looks up the driver's process ID and kills the driver").
 func (sys *System) KillDriver(label string) {
 	sys.RS.KillService(label, kernel.SIGKILL)
+}
+
+// CrashDriverVM overwrites the code of a driver's live ucode VM so that
+// its next routine invocation fails a consistency check (every word
+// becomes "assert r0", and the VM clears r0 on entry). Unlike KillDriver
+// — an external SIGKILL that no in-process mechanism can intercept — this
+// is an internal driver defect, so it exercises respawn, microreboot, and
+// standby promotion comparably. Drivers without a live VM are unaffected.
+func (sys *System) CrashDriverVM(label string) {
+	vm := sys.vms[label]
+	if vm == nil {
+		return
+	}
+	crash := ucode.Enc(ucode.OpAssert, 0, 0, 0)
+	for i := range vm.Img.Code {
+		vm.Img.Code[i] = crash
+	}
 }
 
 // UpdateDriver performs a dynamic update of a running service.
