@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientos/internal/bench"
+	"resilientos/internal/bench/compare"
+)
 
 // -h is documentation, not an error: it must exit 0, unlike bad flags
 // (exit 2) or a tripped gate (exit 1).
@@ -11,5 +17,75 @@ func TestHelp(t *testing.T) {
 	}
 	if code, _ := run([]string{"-no-such-flag"}); code != 2 {
 		t.Fatalf("run(bad flag) exit = %d, want 2", code)
+	}
+}
+
+// simspeedEntry builds a history entry holding only a simspeed
+// document, tweaked by mutate.
+func simspeedEntry(label string, mutate func(*bench.Simspeed)) compare.Entry {
+	doc := &bench.Simspeed{
+		Schema: bench.SchemaSimspeed, Seed: 1,
+		Scenarios: []bench.SimspeedScenario{{
+			Name: "fig7", Events: 110240, BareEvents: 66000, ObsEvents: 58215,
+			EventsPerSec: 177000, NsPerEvent: 5600, AllocsPerEvent: 8.2,
+			OverheadPct: 115,
+			Regions: []bench.SimspeedRegion{
+				{Region: "step", Count: 110240, NsPerEntry: 2212},
+			},
+		}},
+	}
+	if mutate != nil {
+		mutate(doc)
+	}
+	return compare.Entry{Label: label, Simspeed: doc}
+}
+
+// The simspeed schema end to end through the gate binary: deterministic
+// event-count drift hard-fails (exit 1) below any percent threshold,
+// wall-clock swings only warn (exit 0), and -warn-only overrides even
+// the exact class.
+func TestSimspeedDirectionAndClassHandling(t *testing.T) {
+	gate := func(t *testing.T, mutate func(*bench.Simspeed), extra ...string) int {
+		t.Helper()
+		hist := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+		if err := compare.AppendHistory(hist, simspeedEntry("old", nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := compare.AppendHistory(hist, simspeedEntry("new", mutate)); err != nil {
+			t.Fatal(err)
+		}
+		code, _ := run(append([]string{"-history", hist}, extra...))
+		return code
+	}
+
+	if code := gate(t, nil); code != 0 {
+		t.Fatalf("identical entries: exit %d, want 0", code)
+	}
+	// +1 event: ~0.001%, far below -fail 10 — exact class fails anyway.
+	if code := gate(t, func(d *bench.Simspeed) { d.Scenarios[0].Events++ }); code != 1 {
+		t.Fatalf("event-count drift: exit %d, want 1", code)
+	}
+	if code := gate(t, func(d *bench.Simspeed) { d.Scenarios[0].Regions[0].Count-- }); code != 1 {
+		t.Fatalf("region-count drift: exit %d, want 1", code)
+	}
+	// Wall-clock collapse in the bad direction for every metric —
+	// noisy class caps at WARN, so the gate passes.
+	if code := gate(t, func(d *bench.Simspeed) {
+		d.Scenarios[0].EventsPerSec /= 2 // higher-better, halved
+		d.Scenarios[0].NsPerEvent *= 2   // lower-better, doubled
+		d.Scenarios[0].AllocsPerEvent *= 2
+		d.Scenarios[0].OverheadPct *= 2
+	}); code != 0 {
+		t.Fatalf("wall-clock collapse: exit %d, want 0 (warn-only class)", code)
+	}
+	// A wall-clock IMPROVEMENT must pass too (direction-aware).
+	if code := gate(t, func(d *bench.Simspeed) {
+		d.Scenarios[0].EventsPerSec *= 2
+		d.Scenarios[0].NsPerEvent /= 2
+	}); code != 0 {
+		t.Fatalf("wall-clock improvement: exit %d, want 0", code)
+	}
+	if code := gate(t, func(d *bench.Simspeed) { d.Scenarios[0].Events++ }, "-warn-only"); code != 0 {
+		t.Fatalf("-warn-only did not override exact failure: exit %d, want 0", code)
 	}
 }

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"resilientos/internal/bench"
+)
+
+// The determinism-separation gate: two runs of the same battery must
+// agree on every byte except the wall-clock fields. Canonical() zeroes
+// exactly those, so the canonical documents must be identical while
+// the raw documents (which carry wall-time observations) are not
+// comparable.
+func TestBatteryCanonicalFormIsReproducible(t *testing.T) {
+	o := quickOpts(1)
+	d1, folded := battery(o)
+	d2, _ := battery(o)
+
+	b1, err := json.MarshalIndent(d1.Canonical(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.MarshalIndent(d2.Canonical(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("canonical documents differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", b1, b2)
+	}
+	if len(folded) == 0 {
+		t.Fatal("fig7 produced no folded stacks")
+	}
+	if !bytes.Contains(folded, []byte("wall:")) {
+		t.Fatal("folded stacks lack the wall-clock plane")
+	}
+}
+
+// The battery must populate both planes: deterministic counts nonzero,
+// wall-clock observations nonzero before canonicalization and zero
+// after.
+func TestBatterySeparatesPlanes(t *testing.T) {
+	doc, _ := battery(quickOpts(1))
+	if doc.Schema != bench.SchemaSimspeed {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	want := map[string]bool{"fig7": true, "fleet": true, "campaign": true}
+	for _, sc := range doc.Scenarios {
+		delete(want, sc.Name)
+		if sc.Events == 0 || sc.BareEvents == 0 {
+			t.Fatalf("%s: zero event counts", sc.Name)
+		}
+		if sc.WallMs <= 0 || sc.EventsPerSec <= 0 || sc.NsPerEvent <= 0 {
+			t.Fatalf("%s: wall-clock plane empty: %+v", sc.Name, sc)
+		}
+		var stepCount uint64
+		for _, rr := range sc.Regions {
+			if rr.Region == "step" {
+				stepCount = rr.Count
+			}
+		}
+		if stepCount != sc.Events {
+			t.Fatalf("%s: step region count %d != events %d", sc.Name, stepCount, sc.Events)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing scenarios: %v", want)
+	}
+
+	can := doc.Canonical()
+	for _, sc := range can.Scenarios {
+		if sc.WallMs != 0 || sc.EventsPerSec != 0 || sc.NsPerEvent != 0 ||
+			sc.AllocsPerEvent != 0 || sc.VirtualPerWall != 0 ||
+			sc.BareWallMs != 0 || sc.BareEventsPerSec != 0 || sc.OverheadPct != 0 {
+			t.Fatalf("%s: canonical form kept wall-clock fields: %+v", sc.Name, sc)
+		}
+		if sc.Events == 0 {
+			t.Fatalf("%s: canonical form lost deterministic counts", sc.Name)
+		}
+		for _, rr := range sc.Regions {
+			if rr.TotalNs != 0 || rr.SelfNs != 0 || rr.NsPerEntry != 0 || rr.AllocsPerEntry != 0 {
+				t.Fatalf("%s/%s: canonical region kept wall fields", sc.Name, rr.Region)
+			}
+		}
+	}
+	if can.WallClockS != 0 {
+		t.Fatal("canonical form kept WallClockS")
+	}
+}
+
+// The instrumented fig7 run attaches the obs stack, which both emits
+// events (ObsEvents) and schedules its own work — its event count must
+// differ from the bare run's, which is exactly why both are gated.
+func TestFig7InstrumentedAndBareDiffer(t *testing.T) {
+	doc, _ := battery(options{
+		seed: 1, fig7Size: 1 << 20, fig7Kill: 1e9,
+		filter: map[string]bool{"fig7": true},
+	})
+	if len(doc.Scenarios) != 1 || doc.Scenarios[0].Name != "fig7" {
+		t.Fatalf("scenario filter broken: %+v", doc.Scenarios)
+	}
+	sc := doc.Scenarios[0]
+	if sc.ObsEvents == 0 {
+		t.Fatal("instrumented run emitted no obs events")
+	}
+	if sc.Events == sc.BareEvents {
+		t.Fatalf("instrumented (%d) and bare (%d) event counts agree; sampler/checker scheduling missing",
+			sc.Events, sc.BareEvents)
+	}
+	var hasCheck bool
+	for _, rr := range sc.Regions {
+		if rr.Region == "check" && rr.Count > 0 {
+			hasCheck = true
+		}
+	}
+	if !hasCheck {
+		t.Fatal("invariant checker region never entered")
+	}
+}
+
+func TestRenderAndFlags(t *testing.T) {
+	if code, err := run([]string{"-badflag"}); code != 2 || err != nil {
+		t.Fatalf("bad flag: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"positional"}); code != 2 || err == nil {
+		t.Fatalf("positional arg: code=%d err=%v", code, err)
+	}
+	dir := t.TempDir()
+	code, err := run([]string{"-quick", "-det",
+		"-scenario", "fleet",
+		"-json", dir + "/BENCH_simspeed.json",
+		"-folded", dir + "/simspeed.folded"})
+	if code != 0 || err != nil {
+		t.Fatalf("quick run: code=%d err=%v", code, err)
+	}
+	b, err := os.ReadFile(dir + "/BENCH_simspeed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc bench.Simspeed
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scenarios) != 1 || doc.Scenarios[0].Name != "fleet" {
+		t.Fatalf("scenario filter: %+v", doc.Scenarios)
+	}
+	if doc.Scenarios[0].WallMs != 0 {
+		t.Fatal("-det did not zero wall fields")
+	}
+	// -scenario fleet produces no fig7 folded stacks: file is written
+	// but empty.
+	if fb, err := os.ReadFile(dir + "/simspeed.folded"); err != nil || len(fb) != 0 {
+		t.Fatalf("folded without fig7: err=%v len=%d", err, len(fb))
+	}
+}

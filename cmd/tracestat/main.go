@@ -60,6 +60,7 @@ func run(args []string) error {
 	perfetto := fs.String("perfetto", "", "write the Chrome trace-event JSON export to this file")
 	decisions := fs.Bool("decisions", false, "treat the trace file as a recovery decision log (obs/decision JSONL): defect-class/action matrix, per-class latency, give-ups")
 	exp := fs.String("exp", "", "with no trace file: run this experiment in-process (fig7 or fig8) and summarize its events")
+	ring := fs.Int("ring", 0, "with -exp: capture through a bounded ring sink of this capacity\n(0 = unbounded); an overflow surfaces as a truncated trace with the\nexact drop count, exercising the capture path a flight recorder uses")
 	seed := fs.Int64("seed", 1, "simulation seed for an in-process -exp run")
 	sizeMB := fs.Int64("size", 16, "transfer size in MB for an in-process -exp run")
 	intervals := fs.String("intervals", "2", "comma-separated kill intervals in seconds for an in-process -exp run")
@@ -100,7 +101,7 @@ func run(args []string) error {
 		}
 	case fs.NArg() == 0 && *exp != "":
 		var err error
-		events, err = generate(*exp, *sizeMB, *seed, *intervals)
+		events, err = generate(*exp, *sizeMB, *seed, *intervals, *ring)
 		if err != nil {
 			return err
 		}
@@ -108,14 +109,27 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("need exactly one of a trace file or -exp")
 	}
-	// A leading ring-sink drop mark means the capture buffer overflowed:
-	// everything downstream describes a truncated trace.
-	if len(events) > 0 {
-		e := events[0]
+	// Ring-sink drop marks mean a capture buffer overflowed and the
+	// trace is truncated. The mark normally leads the stream, but a
+	// concatenated or re-filtered capture can carry one anywhere —
+	// scan the whole stream, sum the counts, and strip the marks so
+	// the tables below describe real events only.
+	var droppedTotal int64
+	dropMarks := 0
+	liveEvents := events[:0]
+	for _, e := range events {
 		if e.Kind == obs.KindMark && e.Comp == obs.DropMarkComp && e.Aux == obs.DropMarkAux {
-			fmt.Printf("WARNING: trace truncated — %d older event(s) dropped by the capture ring\n\n", e.V1)
-			events = events[1:]
+			droppedTotal += e.V1
+			dropMarks++
+			continue
 		}
+		liveEvents = append(liveEvents, e)
+	}
+	events = liveEvents
+	if dropMarks > 0 {
+		kept := len(events)
+		fmt.Printf("WARNING: trace truncated — capture ring dropped %d event(s); %d kept (%.1f%% of %d emitted)\n\n",
+			droppedTotal, kept, 100*float64(kept)/float64(int64(kept)+droppedTotal), int64(kept)+droppedTotal)
 	}
 	if *kinds != "" {
 		keep := make(map[obs.Kind]bool)
@@ -241,7 +255,10 @@ func run(args []string) error {
 
 // generate runs a cmd/throughput experiment in-process and returns its
 // event stream, so a trace can be inspected without a capture file.
-func generate(exp string, sizeMB, seed int64, intervals string) ([]obs.Event, error) {
+// With ring > 0 the stream is captured through a bounded RingSink, the
+// flight-recorder configuration: only the newest ring events survive
+// and an overflow is returned as a leading drop mark.
+func generate(exp string, sizeMB, seed int64, intervals string, ring int) ([]obs.Event, error) {
 	var ivs []time.Duration
 	for _, part := range strings.Split(intervals, ",") {
 		part = strings.TrimSpace(part)
@@ -254,7 +271,16 @@ func generate(exp string, sizeMB, seed int64, intervals string) ([]obs.Event, er
 		}
 		ivs = append(ivs, time.Duration(secs*float64(time.Second)))
 	}
-	sink := &obs.SliceSink{}
+	var sink obs.Sink
+	var slice *obs.SliceSink
+	var bounded *obs.RingSink
+	if ring > 0 {
+		bounded = obs.NewRingSink(ring)
+		sink = bounded
+	} else {
+		slice = &obs.SliceSink{}
+		sink = slice
+	}
 	var points []resilientos.ThroughputPoint
 	switch exp {
 	case "fig7":
@@ -270,5 +296,8 @@ func generate(exp string, sizeMB, seed int64, intervals string) ([]obs.Event, er
 		}
 	}
 	fmt.Printf("in-process %s run: %d MB, seed %d, intervals %s\n\n", exp, sizeMB, seed, intervals)
-	return sink.Events(), nil
+	if bounded != nil {
+		return bounded.EventsWithDropMark(), nil
+	}
+	return slice.Events(), nil
 }

@@ -49,6 +49,23 @@ func baseEntry(label string) Entry {
 				SLO:     &bench.FleetSLO{BudgetMs: 40, AttainedPct: 100, WindowPct: 100},
 			}},
 		},
+		Simspeed: &bench.Simspeed{
+			Schema: bench.SchemaSimspeed, Seed: 1, WallClockS: 2.5,
+			Scenarios: []bench.SimspeedScenario{{
+				Name: "fig7", Events: 110240, BareEvents: 66000,
+				VirtualMs: 6400, ObsEvents: 58215,
+				WallMs: 620, EventsPerSec: 177000, NsPerEvent: 5600,
+				AllocsPerEvent: 8.2, VirtualPerWall: 10.2,
+				BareWallMs: 170, BareEventsPerSec: 380000, OverheadPct: 115,
+				Regions: []bench.SimspeedRegion{
+					{Region: "step", Count: 110240, Samples: 1722,
+						TotalNs: 314959000, SelfNs: 243862000,
+						NsPerEntry: 2212, AllocsPerEntry: 5.6},
+					{Region: "kernel.ipc", Count: 127495, Samples: 1992,
+						TotalNs: 25281000, SelfNs: 25281000, NsPerEntry: 198},
+				},
+			}},
+		},
 		Decisions: &bench.Decisions{
 			Schema: bench.SchemaDecisions,
 			Spec:   "seeds=11 victims=eth.rtl8139 faults=bit-flip per-cell=10",
@@ -326,5 +343,99 @@ func TestLoadEntryDecisions(t *testing.T) {
 	}
 	if len(got.Decisions.Overrides) != 1 || got.Decisions.Overrides[0].Name != "budget=1" {
 		t.Fatalf("overrides lost: %+v", got.Decisions.Overrides)
+	}
+}
+
+// Exact metrics: a deterministic event count that drifts — by any
+// amount, in any direction — is a behavior change and must FAIL, far
+// below the percent thresholds.
+func TestSimspeedExactCountDriftFails(t *testing.T) {
+	old, cur := baseEntry("a"), baseEntry("b")
+	cur.Simspeed.Scenarios[0].Events++ // +0.0009%: invisible to thresholds
+	r := Diff(old, cur, DefaultThresholds)
+	if got := r.Worst(); got != Fail {
+		var buf bytes.Buffer
+		r.WriteText(&buf)
+		t.Fatalf("event-count drift graded %v, want FAIL:\n%s", got, buf.String())
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Metric == "simspeed/fig7/events" {
+			found = true
+			if f.Severity != Fail || f.Class != Exact {
+				t.Fatalf("events finding: %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("simspeed/fig7/events not gated")
+	}
+
+	// A drift downward ("improvement" by direction) fails just the same.
+	old, cur = baseEntry("a"), baseEntry("b")
+	cur.Simspeed.Scenarios[0].Regions[1].Count -= 10
+	if got := Diff(old, cur, DefaultThresholds).Worst(); got != Fail {
+		t.Fatalf("region-count drift downward graded %v, want FAIL", got)
+	}
+}
+
+// Noisy metrics: wall-clock speed can swing arbitrarily on a shared
+// runner; even a 50% collapse must cap at WARN, never failing a build.
+func TestSimspeedWallClockCapsAtWarn(t *testing.T) {
+	old, cur := baseEntry("a"), baseEntry("b")
+	cur.Simspeed.Scenarios[0].EventsPerSec *= 0.5
+	cur.Simspeed.Scenarios[0].NsPerEvent *= 2
+	cur.Simspeed.Scenarios[0].OverheadPct *= 3
+	r := Diff(old, cur, DefaultThresholds)
+	if got := r.Worst(); got != Warn {
+		var buf bytes.Buffer
+		r.WriteText(&buf)
+		t.Fatalf("wall-clock collapse graded %v, want WARN:\n%s", got, buf.String())
+	}
+	for _, f := range r.Findings {
+		if f.Class == Noisy && f.Severity > Warn {
+			t.Fatalf("noisy metric exceeded WARN: %+v", f)
+		}
+	}
+}
+
+func TestSimspeedUnchangedPasses(t *testing.T) {
+	if got := Diff(baseEntry("a"), baseEntry("b"), DefaultThresholds).Worst(); got != OK {
+		t.Fatalf("identical simspeed entries graded %v", got)
+	}
+}
+
+// The report text marks the class so a CI log reads why a 0.001% move
+// failed or a 50% move only warned.
+func TestSimspeedReportTextMarksClasses(t *testing.T) {
+	old, cur := baseEntry("a"), baseEntry("b")
+	cur.Simspeed.Scenarios[0].Events++
+	cur.Simspeed.Scenarios[0].EventsPerSec *= 0.5
+	var buf bytes.Buffer
+	Diff(old, cur, DefaultThresholds).WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"exact: any drift fails", "noisy: warn-only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadEntrySimspeed(t *testing.T) {
+	dir := t.TempDir()
+	e := baseEntry("")
+	if err := bench.WriteFile(filepath.Join(dir, "BENCH_simspeed.json"), e.Simspeed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEntry(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Empty() {
+		t.Fatal("entry with simspeed document reported Empty")
+	}
+	if got.Simspeed == nil || len(got.Simspeed.Scenarios) != 1 ||
+		got.Simspeed.Scenarios[0].Events != 110240 {
+		t.Fatalf("simspeed document not loaded: %+v", got.Simspeed)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"resilientos/internal/fi"
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/decision"
+	"resilientos/internal/perf"
 	"resilientos/internal/policy"
 	"resilientos/internal/sim"
 )
@@ -106,6 +107,11 @@ type Config struct {
 	// cell-boundary marks) in Report.DecisionLog, and victim availability
 	// is derived from the detect→terminal downtime windows.
 	Decisions bool
+
+	// Perf, if set, attaches wall-clock telemetry (internal/perf) to
+	// every cell's system. The profiler is single-threaded, so fill
+	// forces Workers to 1 — which never changes results.
+	Perf *perf.Profiler
 }
 
 // Seq returns seeds 1..n.
@@ -131,6 +137,9 @@ func (cfg *Config) fill() {
 		cfg.FaultsPerCell = 10
 	}
 	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Perf != nil {
 		cfg.Workers = 1
 	}
 	if cfg.TraceTail <= 0 {
@@ -276,6 +285,7 @@ func runCell(cell Cell, cfg Config) CellResult {
 		NetPolicy:       cfg.Policy,
 		NetPolicyParams: cfg.PolicyParams,
 		Mechanism:       cfg.Mechanism,
+		Perf:            cfg.Perf,
 	}
 	if disk {
 		syscfg.PreallocFiles = []resilientos.PreallocFile{{Name: "/campaign", Size: 16 << 20}}

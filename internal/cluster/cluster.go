@@ -20,6 +20,7 @@ import (
 	"resilientos"
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/timeseries"
+	"resilientos/internal/perf"
 	"resilientos/internal/sim"
 	"resilientos/internal/workload"
 )
@@ -50,6 +51,12 @@ type Config struct {
 
 	MaxRestarts int // per-node RS restart budget (0 = unbounded)
 	Workers     int // node-advance parallelism; never changes results (default 1)
+
+	// Perf, if set, attaches wall-clock telemetry (internal/perf) to the
+	// fleet clock, the lockstep barrier, and every member node. The
+	// profiler is single-threaded, so Fill forces Workers to 1 — which
+	// never changes results, only wall-clock speed.
+	Perf *perf.Profiler
 
 	// Arrivals, when non-empty, replaces the built-in Poisson request mix
 	// with an explicit arrival sequence — generated from a workload spec
@@ -123,6 +130,9 @@ func (cfg Config) Fill() Config {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.Perf != nil {
+		cfg.Workers = 1
+	}
 	if len(cfg.Classes) == 0 {
 		cfg.Classes = []string{resilientos.ClassNet, resilientos.ClassDisk}
 	}
@@ -181,13 +191,19 @@ func New(cfg Config) *Cluster {
 	})
 	c.rec = obs.NewRecorder(c.sampler)
 	c.rec.SetClock(c.fleet.Now)
+	if cfg.Perf != nil {
+		cfg.Perf.Attach(c.fleet)
+		c.rec.SetPerf(cfg.Perf)
+		c.sampler.SetPerf(cfg.Perf)
+	}
 	envs := make([]*sim.Env, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		n := newNode(i, cfg.Seed, cfg.MaxRestarts, withChar)
+		n := newNode(i, cfg.Seed, cfg.MaxRestarts, withChar, cfg.Perf)
 		c.nodes = append(c.nodes, n)
 		envs = append(envs, n.Sys.Env)
 	}
 	c.lock = sim.NewLockstep(cfg.Workers, envs...)
+	cfg.Perf.AttachLockstep(c.lock)
 	return c
 }
 
@@ -264,6 +280,9 @@ func (c *Cluster) anyRecovering() bool {
 
 // Nodes exposes the fleet members (read-only use).
 func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Now returns the fleet clock (the virtual time the campaign reached).
+func (c *Cluster) Now() sim.Time { return c.fleet.Now() }
 
 // Segments returns the fleet window series recorded by the sampler.
 func (c *Cluster) Segments() []timeseries.Segment { return c.sampler.Segments() }

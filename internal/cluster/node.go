@@ -7,6 +7,7 @@ import (
 
 	"resilientos"
 	"resilientos/internal/fi"
+	"resilientos/internal/perf"
 	"resilientos/internal/sim"
 )
 
@@ -86,7 +87,7 @@ func deriveSeed(fleetSeed int64, index int) int64 {
 // newNode boots one member system. Nodes always run the network and disk
 // stacks; the character devices boot only when the campaign's class set
 // routes char jobs (withChar), keeping classic fleet runs lean.
-func newNode(index int, fleetSeed int64, maxRestarts int, withChar bool) *Node {
+func newNode(index int, fleetSeed int64, maxRestarts int, withChar bool, p *perf.Profiler) *Node {
 	seed := deriveSeed(fleetSeed, index)
 	n := &Node{
 		Index: index,
@@ -96,6 +97,7 @@ func newNode(index int, fleetSeed int64, maxRestarts int, withChar bool) *Node {
 			Seed:        seed,
 			DisableChar: !withChar,
 			MaxRestarts: maxRestarts,
+			Perf:        p,
 		}),
 		injector:    fi.New(rand.New(rand.NewSource(seed ^ 0x5DEECE66D))),
 		warmupUntil: make(map[string]sim.Time, 3),

@@ -1,6 +1,9 @@
 package kernel
 
-import "resilientos/internal/obs"
+import (
+	"resilientos/internal/obs"
+	"resilientos/internal/perf"
+)
 
 // IPC primitives, modeled on MINIX 3:
 //
@@ -22,16 +25,23 @@ import "resilientos/internal/obs"
 // Clock, System first) > async messages > queued senders.
 
 // send implements the blocking rendezvous send from e to dst.
+//
+// The wall-clock region (RegionKernelIPC) covers the dispatch attempt
+// only and is always closed before Park: a region spanning a park would
+// interleave with other events' regions and corrupt the LIFO stack.
 func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
 	if !e.alive {
 		return ErrDying
 	}
+	k.perf.Begin(perf.RegionKernelIPC)
 	d := k.lookup(dst)
 	if d == nil {
 		k.obs.Emit(obs.KindIPCAbort, e.label, k.labelFor(dst), int64(msg.Type), 0)
+		k.perf.End(perf.RegionKernelIPC)
 		return ErrDeadDst
 	}
 	if !e.priv.allowsIPCTo(d.label) {
+		k.perf.End(perf.RegionKernelIPC)
 		return ErrNotAllowed
 	}
 	if k.obs != nil {
@@ -45,12 +55,14 @@ func (k *Kernel) send(e *procEntry, dst Endpoint, msg Message) error {
 	if d.recvWait && (d.recvFrom == Any || d.recvFrom == e.ep) {
 		d.recvWait = false
 		d.proc.Wake(deliveredMsg{msg: msg})
+		k.perf.End(perf.RegionKernelIPC)
 		return nil
 	}
 	// Destination not ready: queue and block.
 	e.sendMsg = msg
 	e.sendTo = d
 	d.senders = append(d.senders, e)
+	k.perf.End(perf.RegionKernelIPC)
 	switch v := e.proc.Park().(type) {
 	case sendOK:
 		return nil
@@ -88,20 +100,24 @@ func (k *Kernel) receive(e *procEntry, from Endpoint) (Message, error) {
 	return m, err
 }
 
-// receiveInner implements the blocking receive for e.
+// receiveInner implements the blocking receive for e. As in send, the
+// wall-clock region covers the delivery scan only, never the park.
 func (k *Kernel) receiveInner(e *procEntry, from Endpoint) (Message, error) {
 	if !e.alive {
 		return Message{}, ErrDying
 	}
+	k.perf.Begin(perf.RegionKernelIPC)
 	for {
 		// 1. Pending notifications, pseudo-sources first.
 		if msg, ok := e.takeNotification(from); ok {
+			k.perf.End(perf.RegionKernelIPC)
 			return msg, nil
 		}
 		// 2. Queued asynchronous messages.
 		for i, m := range e.asyncQ {
 			if from == Any || m.Source == from {
 				e.asyncQ = append(e.asyncQ[:i], e.asyncQ[i+1:]...)
+				k.perf.End(perf.RegionKernelIPC)
 				return m, nil
 			}
 		}
@@ -113,17 +129,20 @@ func (k *Kernel) receiveInner(e *procEntry, from Endpoint) (Message, error) {
 				s.sendTo = nil
 				s.sendMsg = Message{}
 				s.proc.Wake(sendOK{})
+				k.perf.End(perf.RegionKernelIPC)
 				return msg, nil
 			}
 		}
 		// 4. If waiting for a specific process source, make sure it is
 		// alive (pseudo-sources like Hardware/Clock never "die").
 		if from.valid() && k.lookup(from) == nil {
+			k.perf.End(perf.RegionKernelIPC)
 			return Message{}, ErrSrcDied
 		}
 		// 5. Block.
 		e.recvWait = true
 		e.recvFrom = from
+		k.perf.End(perf.RegionKernelIPC)
 		switch v := e.proc.Park().(type) {
 		case deliveredMsg:
 			return v.msg, nil
@@ -192,6 +211,8 @@ func (k *Kernel) tryReceiveInner(e *procEntry, from Endpoint) (Message, bool) {
 	if !e.alive {
 		return Message{}, false
 	}
+	k.perf.Begin(perf.RegionKernelIPC)
+	defer k.perf.End(perf.RegionKernelIPC)
 	if msg, ok := e.takeNotification(from); ok {
 		return msg, true
 	}
@@ -243,6 +264,8 @@ func (k *Kernel) notifyFrom(e *procEntry, dst Endpoint) error {
 	if !e.alive {
 		return ErrDying
 	}
+	k.perf.Begin(perf.RegionKernelIPC)
+	defer k.perf.End(perf.RegionKernelIPC)
 	d := k.lookup(dst)
 	if d == nil {
 		return ErrDeadDst
@@ -258,6 +281,8 @@ func (k *Kernel) notifyFrom(e *procEntry, dst Endpoint) error {
 // System). It is usable from scheduler context — device completions and
 // death hooks use it to hand events to system processes.
 func (k *Kernel) PostAsync(dst Endpoint, msg Message) error {
+	k.perf.Begin(perf.RegionKernelIPC)
+	defer k.perf.End(perf.RegionKernelIPC)
 	d := k.lookup(dst)
 	if d == nil {
 		return ErrDeadDst
@@ -277,6 +302,8 @@ func (k *Kernel) asyncSend(e *procEntry, dst Endpoint, msg Message) error {
 	if !e.alive {
 		return ErrDying
 	}
+	k.perf.Begin(perf.RegionKernelIPC)
+	defer k.perf.End(perf.RegionKernelIPC)
 	d := k.lookup(dst)
 	if d == nil {
 		return ErrDeadDst

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"resilientos/internal/obs"
+	"resilientos/internal/perf"
 	"resilientos/internal/sim"
 )
 
@@ -90,8 +91,9 @@ type DeathHook func(label string, ep Endpoint, cause Cause)
 
 // Kernel is the simulated microkernel.
 type Kernel struct {
-	env *sim.Env
-	obs *obs.Recorder // nil = observability off (zero cost)
+	env  *sim.Env
+	obs  *obs.Recorder  // nil = observability off (zero cost)
+	perf *perf.Profiler // nil = wall-clock telemetry off (zero cost)
 
 	// Registry counters cached at SetObs so the IPC hot path pays one
 	// pointer increment, never a map lookup. The windowed telemetry
@@ -133,6 +135,11 @@ func (k *Kernel) SetObs(r *obs.Recorder) {
 
 // Obs returns the recorder (possibly nil; obs methods are nil-safe).
 func (k *Kernel) Obs() *obs.Recorder { return k.obs }
+
+// SetPerf installs the wall-clock profiler bracketing the IPC dispatch
+// paths (RegionKernelIPC). A nil profiler (the default) keeps the hot
+// path free; profiler methods are nil-safe.
+func (k *Kernel) SetPerf(p *perf.Profiler) { k.perf = p }
 
 // labelFor resolves an endpoint to a trace-friendly name: stable labels
 // for live processes, pseudo-source names for the kernel's own sources.

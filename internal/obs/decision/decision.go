@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 
+	"resilientos/internal/perf"
 	"resilientos/internal/sim"
 )
 
@@ -160,6 +161,9 @@ type Recorder struct {
 	clock func() sim.Time
 	sinks []Sink
 	mask  uint64 // bit i set = Kind(i) enabled
+
+	perf  *perf.Profiler // wall-clock cost attribution (nil = off)
+	nemit uint64         // events emitted past the mask (deterministic)
 }
 
 // NewRecorder creates a recorder with all kinds enabled.
@@ -213,18 +217,40 @@ func (r *Recorder) On(k Kind) bool {
 	return r != nil && r.mask&(1<<uint(k)) != 0
 }
 
+// SetPerf installs the wall-clock profiler: every emitted event's
+// stamping and sink fan-out runs inside RegionDecision. Nil-safe; a nil
+// profiler (the default) keeps the emit path free.
+func (r *Recorder) SetPerf(p *perf.Profiler) {
+	if r == nil {
+		return
+	}
+	r.perf = p
+}
+
+// Emitted reports how many events passed the kind mask and reached the
+// sinks — the recorder's deterministic work counter. Nil-safe.
+func (r *Recorder) Emitted() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.nemit
+}
+
 // Emit stamps e with the current virtual time and publishes it to every
 // sink. Nil-safe.
 func (r *Recorder) Emit(e Event) {
 	if r == nil || r.mask&(1<<uint(e.Kind)) == 0 {
 		return
 	}
+	r.nemit++
+	r.perf.Begin(perf.RegionDecision)
 	if r.clock != nil {
 		e.T = r.clock()
 	}
 	for _, s := range r.sinks {
 		s.Emit(e)
 	}
+	r.perf.End(perf.RegionDecision)
 }
 
 // SliceSink appends every event to an unbounded slice.

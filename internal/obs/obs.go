@@ -23,6 +23,7 @@ import (
 	"io"
 	"strconv"
 
+	"resilientos/internal/perf"
 	"resilientos/internal/sim"
 )
 
@@ -188,6 +189,9 @@ type Recorder struct {
 	ipcRTT *Histogram // virtual-time SendRec round trips
 	recLat *Histogram // defect -> reintegration recovery latency
 
+	perf  *perf.Profiler // wall-clock cost attribution (nil = off)
+	nemit uint64         // events emitted past the mask (deterministic)
+
 	// Causal-tracing ID allocators. The scheduler is single-threaded, so
 	// plain counters are deterministic for a fixed seed+workload.
 	nextTrace int64
@@ -247,11 +251,33 @@ func (r *Recorder) On(k Kind) bool {
 	return r != nil && r.mask&(1<<uint(k)) != 0
 }
 
+// SetPerf installs the wall-clock profiler: every emitted event's
+// stamping and sink fan-out runs inside RegionObs, so the cost of the
+// observability stack itself shows up in the simspeed report. Nil-safe,
+// and a nil profiler (the default) keeps the emit path free.
+func (r *Recorder) SetPerf(p *perf.Profiler) {
+	if r == nil {
+		return
+	}
+	r.perf = p
+}
+
+// Emitted reports how many events passed the kind mask and reached the
+// sinks — the recorder's deterministic fast-path work counter. Nil-safe.
+func (r *Recorder) Emitted() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.nemit
+}
+
 // Emit stamps and publishes one event to every sink. Nil-safe.
 func (r *Recorder) Emit(k Kind, comp, aux string, v1, v2 int64) {
 	if r == nil || r.mask&(1<<uint(k)) == 0 {
 		return
 	}
+	r.nemit++
+	r.perf.Begin(perf.RegionObs)
 	e := Event{Kind: k, Comp: comp, Aux: aux, V1: v1, V2: v2}
 	if r.clock != nil {
 		e.T = r.clock()
@@ -259,6 +285,7 @@ func (r *Recorder) Emit(k Kind, comp, aux string, v1, v2 int64) {
 	for _, s := range r.sinks {
 		s.Emit(e)
 	}
+	r.perf.End(perf.RegionObs)
 }
 
 // EmitCtx is Emit with a trace context attached, for events that happen
@@ -267,6 +294,8 @@ func (r *Recorder) EmitCtx(k Kind, comp, aux string, v1, v2 int64, sc SpanContex
 	if r == nil || r.mask&(1<<uint(k)) == 0 {
 		return
 	}
+	r.nemit++
+	r.perf.Begin(perf.RegionObs)
 	e := Event{Kind: k, Comp: comp, Aux: aux, V1: v1, V2: v2, Trace: sc.Trace, Span: sc.Span}
 	if r.clock != nil {
 		e.T = r.clock()
@@ -274,10 +303,13 @@ func (r *Recorder) EmitCtx(k Kind, comp, aux string, v1, v2 int64, sc SpanContex
 	for _, s := range r.sinks {
 		s.Emit(e)
 	}
+	r.perf.End(perf.RegionObs)
 }
 
 // emitSpan publishes a span-lifecycle event with full trace fields.
 func (r *Recorder) emitSpan(k Kind, comp, aux string, v1 int64, tr, sp, pa int64) {
+	r.nemit++
+	r.perf.Begin(perf.RegionObs)
 	e := Event{Kind: k, Comp: comp, Aux: aux, V1: v1, Trace: tr, Span: sp, Parent: pa}
 	if r.clock != nil {
 		e.T = r.clock()
@@ -285,6 +317,7 @@ func (r *Recorder) emitSpan(k Kind, comp, aux string, v1 int64, tr, sp, pa int64
 	for _, s := range r.sinks {
 		s.Emit(e)
 	}
+	r.perf.End(perf.RegionObs)
 }
 
 // Metrics returns the recorder's registry (nil for a nil recorder; the

@@ -187,3 +187,50 @@ func TestAttachSim(t *testing.T) {
 		t.Fatalf("exit event = %+v", ev[1])
 	}
 }
+
+// Overflow under sustained high rate: a flight-recorder ring fed
+// through the Recorder at trace rates must account for every event —
+// kept + dropped == emitted — keep exactly the newest window in
+// emission order, and stamp the drop mark with the exact count and the
+// oldest survivor's time so a rendered timeline stays monotone.
+func TestRingSinkOverflowUnderHighRate(t *testing.T) {
+	const capacity = 256
+	const emitted = 10_000
+	ring := NewRingSink(capacity)
+	rec := NewRecorder(ring)
+	var now sim.Time
+	rec.SetClock(func() sim.Time { return now })
+	for i := 0; i < emitted; i++ {
+		now = sim.Time(i)
+		rec.Emit(KindIPCSend, "eth.rtl8139", "burst", int64(i), 0)
+	}
+	if rec.Emitted() != emitted {
+		t.Fatalf("recorder emitted %d, want %d", rec.Emitted(), emitted)
+	}
+	if ring.Dropped() != emitted-capacity {
+		t.Fatalf("dropped %d, want %d", ring.Dropped(), emitted-capacity)
+	}
+	evs := ring.Events()
+	if len(evs) != capacity {
+		t.Fatalf("kept %d events, want %d", len(evs), capacity)
+	}
+	for j, e := range evs {
+		if e.V1 != int64(emitted-capacity+j) {
+			t.Fatalf("window broken at %d: got V1=%d, want %d", j, e.V1, emitted-capacity+j)
+		}
+	}
+	marked := ring.EventsWithDropMark()
+	if len(marked) != capacity+1 {
+		t.Fatalf("marked stream has %d events, want %d", len(marked), capacity+1)
+	}
+	m := marked[0]
+	if m.Kind != KindMark || m.Comp != DropMarkComp || m.Aux != DropMarkAux {
+		t.Fatalf("leading event is not a drop mark: %+v", m)
+	}
+	if m.V1 != emitted-capacity {
+		t.Fatalf("drop mark count %d, want %d", m.V1, emitted-capacity)
+	}
+	if m.T != marked[1].T {
+		t.Fatalf("drop mark stamped %v, oldest survivor %v", m.T, marked[1].T)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"strconv"
 
 	"resilientos/internal/obs"
+	"resilientos/internal/perf"
 	"resilientos/internal/sim"
 )
 
@@ -158,7 +159,14 @@ type Sampler struct {
 	overAnn  []Annotation
 
 	violation string // first structural violation (window monotonicity)
+
+	perf *perf.Profiler // wall-clock cost attribution (nil = off)
 }
+
+// SetPerf installs the wall-clock profiler: every window flush (rollover
+// tick, mark split, Finish) runs inside RegionTimeseries. A nil profiler
+// (the default) keeps the path free.
+func (s *Sampler) SetPerf(p *perf.Profiler) { s.perf = p }
 
 // New creates a sampler; call Attach to start sampling.
 func New(cfg Config) *Sampler {
@@ -242,6 +250,8 @@ func (s *Sampler) rollover() {
 // Zero-length windows (a mark landing exactly on a boundary, or Finish
 // immediately after Attach) are skipped.
 func (s *Sampler) closeWindow(end sim.Time) {
+	s.perf.Begin(perf.RegionTimeseries)
+	defer s.perf.End(perf.RegionTimeseries)
 	seg := &s.segs[len(s.segs)-1]
 	if end > s.curStart {
 		w := Window{

@@ -29,6 +29,8 @@ func (e *Env) RunUntil(t Time) Time {
 type Lockstep struct {
 	envs    []*Env
 	workers int
+
+	perfBegin, perfEnd func() // bracket AdvanceTo (see SetPerfHooks)
 }
 
 // NewLockstep creates a coordinator over envs advancing with the given
@@ -47,11 +49,23 @@ func (l *Lockstep) Add(e *Env) { l.envs = append(l.envs, e) }
 // Members returns the coordinated environments, in member order.
 func (l *Lockstep) Members() []*Env { return l.envs }
 
+// SetPerfHooks installs wall-clock instrumentation bracketing every
+// AdvanceTo barrier (both nil disables). When the same profiler also
+// observes member environments, the coordinator must run with one
+// worker: the profiler is single-threaded.
+func (l *Lockstep) SetPerfHooks(begin, end func()) {
+	l.perfBegin, l.perfEnd = begin, end
+}
+
 // AdvanceTo advances every member to the absolute virtual time t and
 // returns once all have reached it (a barrier). Members already at or
 // past t are untouched. The caller must not touch any member while
 // AdvanceTo is in flight.
 func (l *Lockstep) AdvanceTo(t Time) {
+	if l.perfBegin != nil {
+		l.perfBegin()
+		defer l.perfEnd()
+	}
 	if l.workers == 1 || len(l.envs) <= 1 {
 		for _, e := range l.envs {
 			e.RunUntil(t)

@@ -97,7 +97,8 @@ type Env struct {
 	fatal   *procPanic // unexpected panic captured from a process
 
 	observer Observer
-	stepHook func() // runs after every executed event (see SetStepHook)
+	stepHook func()     // runs after every executed event (see SetStepHook)
+	perf     *PerfHooks // wall-clock instrumentation (see SetPerfHooks)
 
 	logw    io.Writer
 	logTags map[string]bool // nil means log everything when logw != nil
@@ -132,6 +133,20 @@ func (e *Env) SetStepHook(fn func()) { e.stepHook = fn }
 // EventsExecuted reports how many scheduler events have run — the
 // engine's own work metric, independent of virtual time.
 func (e *Env) EventsExecuted() uint64 { return e.nexec }
+
+// PerfHooks are wall-clock instrumentation callbacks for the scheduler
+// loop. They are plain funcs so this package keeps zero dependencies on
+// the profiler (internal/perf attaches here). The hooks observe wall
+// time only and must not touch simulation state: a run's virtual-time
+// results are identical with and without them.
+type PerfHooks struct {
+	EventBegin, EventEnd func() // bracket every executed event
+	HookBegin, HookEnd   func() // bracket the step hook (invariant checker)
+}
+
+// SetPerfHooks installs wall-clock instrumentation on the scheduler
+// loop (nil disables).
+func (e *Env) SetPerfHooks(h *PerfHooks) { e.perf = h }
 
 // SetLogOutput directs simulation trace output to w (nil disables tracing).
 func (e *Env) SetLogOutput(w io.Writer) { e.logw = w }
@@ -270,9 +285,21 @@ func (e *Env) Run(horizon Time) Time {
 			e.now = ev.at
 		}
 		e.nexec++
-		ev.fn()
+		if e.perf != nil {
+			e.perf.EventBegin()
+			ev.fn()
+			e.perf.EventEnd()
+		} else {
+			ev.fn()
+		}
 		if e.stepHook != nil {
-			e.stepHook()
+			if e.perf != nil {
+				e.perf.HookBegin()
+				e.stepHook()
+				e.perf.HookEnd()
+			} else {
+				e.stepHook()
+			}
 		}
 		if e.fatal != nil {
 			p := e.fatal

@@ -66,6 +66,11 @@ type VM struct {
 
 	IOErrors int // denied/failed port accesses (counted, not fatal)
 	Steps    int // total steps executed across invocations
+
+	// PerfBegin/PerfEnd bracket every invocation for the wall-clock
+	// profiler (internal/perf). Both nil (the default) or both set;
+	// they must not touch VM state.
+	PerfBegin, PerfEnd func()
 }
 
 // New creates a VM running img (not cloned; clone first if the image will
@@ -85,6 +90,14 @@ type Result struct {
 // (r0 is cleared). Register and RAM state persist across invocations,
 // like a real driver's globals.
 func (v *VM) Run(entry string, args ...uint32) Result {
+	if v.PerfBegin != nil {
+		v.PerfBegin()
+		defer v.PerfEnd()
+	}
+	return v.run(entry, args...)
+}
+
+func (v *VM) run(entry string, args ...uint32) Result {
 	pc, ok := v.Img.Entries[entry]
 	if !ok {
 		return Result{Outcome: OutcomeCPU, Reason: fmt.Sprintf("no entry %q", entry)}

@@ -40,6 +40,7 @@ import (
 	"resilientos/internal/obs"
 	"resilientos/internal/obs/decision"
 	"resilientos/internal/obs/timeseries"
+	"resilientos/internal/perf"
 	"resilientos/internal/policy"
 	"resilientos/internal/proc"
 	"resilientos/internal/ucode"
@@ -91,6 +92,12 @@ type Config struct {
 	// decision trace (internal/obs/decision). Nil keeps the RS decision
 	// points free.
 	Decisions *decision.Recorder
+	// Perf, if set, attaches wall-clock telemetry for the simulator
+	// itself (internal/perf): scheduler step loop, kernel IPC dispatch,
+	// driver ucode VMs, and the obs/decision recorders all report cost
+	// into it. Strictly wall-clock: virtual-time results are identical
+	// with and without it. Nil (the default) keeps every hook free.
+	Perf *perf.Profiler
 	// Machine tunes the simulated hardware.
 	Machine hw.MachineConfig
 
@@ -185,6 +192,12 @@ func New(cfg Config) *System {
 		obs.AttachSim(env, cfg.Obs)
 		k.SetObs(cfg.Obs)
 	}
+	if cfg.Perf != nil {
+		cfg.Perf.Attach(env)
+		k.SetPerf(cfg.Perf)
+		cfg.Obs.SetPerf(cfg.Perf)
+		cfg.Decisions.SetPerf(cfg.Perf)
+	}
 	machine := hw.NewMachine(env, k, cfg.Machine)
 	sys := &System{
 		Env:     env,
@@ -243,9 +256,13 @@ func (sys *System) hb() sim.Time {
 	return sys.cfg.HeartbeatPeriod
 }
 
-// trackVM records the live VM of a ucode driver instance.
+// trackVM records the live VM of a ucode driver instance (and, when
+// wall-clock telemetry is on, brackets its invocations in RegionUcode).
 func (sys *System) trackVM(label string) func(*ucode.VM) {
-	return func(vm *ucode.VM) { sys.vms[label] = vm }
+	return func(vm *ucode.VM) {
+		sys.vms[label] = vm
+		sys.cfg.Perf.AttachVM(vm)
+	}
 }
 
 // DriverVM returns the currently running instance's ucode VM for a
